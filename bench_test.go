@@ -1,0 +1,323 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus microbenchmarks of the pipeline's hot paths. Each
+// experiment bench runs the same code as cmd/experiments and reports
+// the headline statistic through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a results regeneration pass. The heavyweight population
+// sweeps iterate full synthetic captures; expect seconds per bench.
+package blinkradar_test
+
+import (
+	"testing"
+
+	"blinkradar"
+	"blinkradar/internal/core"
+	"blinkradar/internal/experiments"
+)
+
+// benchCfg is the paper-faithful pipeline configuration shared by all
+// experiment benches.
+var benchCfg = core.DefaultConfig()
+
+func BenchmarkTable1BlinkFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var night float64
+		for _, n := range r.Night {
+			night += float64(n)
+		}
+		b.ReportMetric(night/float64(len(r.Night)), "drowsy-blinks/min")
+	}
+}
+
+func BenchmarkFig5TransmitPulse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BandwidthHz/1e9, "GHz-bandwidth")
+	}
+}
+
+func BenchmarkFig6RangeProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Peaks)), "profile-peaks")
+	}
+}
+
+func BenchmarkFig7NoiseReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SNRAfterDB-r.SNRBeforeDB, "dB-gain")
+	}
+}
+
+func BenchmarkFig8BackgroundSubtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SuppressionDB(), "dB-suppression")
+	}
+}
+
+func BenchmarkFig9IQTrajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ClosingAmpDelta, "closing-amp-delta")
+	}
+}
+
+func BenchmarkFig10BinSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.CorrectWithinBins), "bins-off")
+	}
+}
+
+func BenchmarkFig11RealtimeTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Detections)), "detections")
+	}
+}
+
+func BenchmarkFig13aBlinkAccuracyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13a(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.Median*100, "median-acc-%")
+	}
+}
+
+func BenchmarkFig13bDrowsyAccuracyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13b(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Summary.Median*100, "median-acc-%")
+	}
+}
+
+func BenchmarkFig15aMissedRuns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15a(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.RunRates) > 0 {
+			b.ReportMetric(r.RunRates[0]*100, "single-miss-%")
+		}
+	}
+}
+
+func BenchmarkFig15bDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15b(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[len(r.Points)-1].Summary.Median*100, "acc-at-0.8m-%")
+	}
+}
+
+func BenchmarkFig15cElevation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15c(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[2].Summary.Median*100, "acc-at-30deg-%")
+	}
+}
+
+func BenchmarkFig15dAngle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15d(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[1].Summary.Median*100, "acc-at-15deg-%")
+	}
+}
+
+func BenchmarkFig16aGlasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16a(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[2].Summary.Median*100, "acc-sunglasses-%")
+	}
+}
+
+func BenchmarkFig16bRoadTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16b(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[len(r.Points)-1].Summary.Median*100, "acc-bumpy-%")
+	}
+}
+
+func BenchmarkFig16cEyeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16c(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].Summary.Median*100, "acc-smallest-eye-%")
+	}
+}
+
+func BenchmarkFig16dWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16d(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Accuracy[0]*100, "acc-1min-window-%")
+	}
+}
+
+func BenchmarkAblationBinSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationBinSelection(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.Full.Median-r.Variant.Median)*100, "advantage-pp")
+	}
+}
+
+func BenchmarkAblationWaveform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationWaveform(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((rs[0].Full.Median-rs[0].Variant.Median)*100, "advantage-pp")
+	}
+}
+
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationAdaptiveUpdate(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.Full.Median-r.Variant.Median)*100, "advantage-pp")
+	}
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.AblationThreshold(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((rs[len(rs)-1].Full.Median-rs[len(rs)-1].Variant.Median)*100, "advantage-pp")
+	}
+}
+
+func BenchmarkExtVitals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtVitals(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.RespWithinBPM), "resp-within-2bpm")
+	}
+}
+
+func BenchmarkExtDeviceVibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtDeviceVibration(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[1].Summary.Median*100, "acc-at-0.05mm-%")
+	}
+}
+
+// --- Microbenchmarks of the pipeline hot paths ---
+
+// benchCapture caches one capture for the micro benches.
+func benchCapture(b *testing.B, duration float64) *blinkradar.Capture {
+	b.Helper()
+	spec := blinkradar.DefaultSpec()
+	spec.Duration = duration
+	spec.Seed = 1234
+	capture, err := blinkradar.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return capture
+}
+
+func BenchmarkScenarioGenerate(b *testing.B) {
+	spec := blinkradar.DefaultSpec()
+	spec.Duration = 60
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i)
+		if _, err := blinkradar.Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorFeedFrame(b *testing.B) {
+	capture := benchCapture(b, 120)
+	det, err := blinkradar.NewDetector(benchCfg, capture.Frames.NumBins(), capture.Frames.FrameRate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := capture.Frames.Data
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := det.Feed(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfflineDetect60s(b *testing.B) {
+	capture := benchCapture(b, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := blinkradar.Detect(benchCfg, capture.Frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

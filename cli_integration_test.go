@@ -1,0 +1,188 @@
+package blinkradar_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"blinkradar"
+	"blinkradar/internal/transport"
+)
+
+// buildTool compiles one of the cmd binaries into dir and returns its
+// path. Skips the test when the toolchain is unavailable.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestRadarsimCaptureRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI round trip skipped in -short mode")
+	}
+	dir := t.TempDir()
+	radarsim := buildTool(t, dir, "radarsim")
+
+	capturePath := filepath.Join(dir, "capture.brc")
+	truthPath := filepath.Join(dir, "capture.json")
+	cmd := exec.Command(radarsim,
+		"-out", capturePath,
+		"-truth", truthPath,
+		"-subject", "4",
+		"-duration", "45",
+		"-seed", "99",
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("radarsim: %v\n%s", err, out)
+	}
+
+	// The capture file must decode into the exact frame matrix the
+	// library produces for the same spec.
+	f, err := os.Open(capturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := transport.ReadCapture(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFrames() != 45*25 {
+		t.Fatalf("capture has %d frames, want %d", m.NumFrames(), 45*25)
+	}
+
+	// The truth sidecar must parse and line up with detection results.
+	raw, err := os.ReadFile(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth struct {
+		SubjectID int `json:"subject_id"`
+		EyeBin    int `json:"eye_bin"`
+		Blinks    []struct {
+			Start    float64 `json:"start_sec"`
+			Duration float64 `json:"duration_sec"`
+		} `json:"blinks"`
+	}
+	if err := json.Unmarshal(raw, &truth); err != nil {
+		t.Fatalf("truth sidecar: %v", err)
+	}
+	if truth.SubjectID != 4 || len(truth.Blinks) == 0 {
+		t.Fatalf("sidecar content %+v", truth)
+	}
+
+	events, _, err := blinkradar.Detect(blinkradar.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blinks := make([]blinkradar.Blink, 0, len(truth.Blinks))
+	for _, b := range truth.Blinks {
+		blinks = append(blinks, blinkradar.Blink{Start: b.Start, Duration: b.Duration})
+	}
+	scored := blinkradar.TrimWarmup(blinks, blinkradar.DefaultWarmup)
+	match := blinkradar.Match(scored, events, 0)
+	if match.Accuracy() < 0.5 {
+		t.Fatalf("detection on the file round trip scored %.2f", match.Accuracy())
+	}
+}
+
+func TestRadardRadarwatchPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline skipped in -short mode")
+	}
+	dir := t.TempDir()
+	radard := buildTool(t, dir, "radard")
+	radarwatch := buildTool(t, dir, "radarwatch")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	// Paced at 4x real time: fast enough for the test, slow enough
+	// that the monitoring client never becomes a dropped slow client.
+	daemon := exec.CommandContext(ctx, radard,
+		"-addr", "127.0.0.1:0",
+		"-duration", "45",
+		"-pace=true",
+		"-speed", "4",
+		"-loop=true",
+		"-seed", "7",
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// The daemon logs its listen address; parse it.
+	var addr string
+	scanner := bufio.NewScanner(stderr)
+	deadline := time.After(30 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if i := strings.Index(line, "on 127.0.0.1:"); i >= 0 {
+				found <- strings.TrimSpace(line[i+3:])
+				break
+			}
+		}
+	}()
+	select {
+	case addr = <-found:
+	case <-deadline:
+		t.Fatal("radard never announced its address")
+	}
+
+	// radarwatch must connect, decode the hello, and report blinks;
+	// kill it as soon as the first blink line appears.
+	watchCtx, watchCancel := context.WithTimeout(ctx, 45*time.Second)
+	defer watchCancel()
+	watch := exec.CommandContext(watchCtx, radarwatch, "-addr", addr)
+	stdout, err := watch.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := watch.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		watch.Process.Kill()
+		watch.Wait()
+	}()
+	var connected, blinked bool
+	lines := bufio.NewScanner(stdout)
+	for lines.Scan() {
+		line := lines.Text()
+		if strings.Contains(line, "connected: 150 bins") {
+			connected = true
+		}
+		if strings.Contains(line, "blink") {
+			blinked = true
+			break
+		}
+	}
+	if !connected {
+		t.Fatal("radarwatch never connected")
+	}
+	if !blinked {
+		t.Fatal("radarwatch reported no blinks before the stream ended")
+	}
+}

@@ -1,0 +1,202 @@
+// Command blinkradar runs the end-to-end pipeline on a simulated drive:
+// it generates a synthetic capture (or an awake/drowsy pair for the
+// drowsiness demo), runs blink detection, scores against ground truth
+// and prints a report.
+//
+// Usage:
+//
+//	blinkradar [flags]
+//
+// Examples:
+//
+//	blinkradar -subject 3 -duration 90 -road bumpy -env driving
+//	blinkradar -drowsy -subject 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"blinkradar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blinkradar: ")
+
+	var (
+		subjectID = flag.Int("subject", 1, "participant profile id (deterministic)")
+		duration  = flag.Float64("duration", 60, "capture length in seconds")
+		distance  = flag.Float64("distance", 0.4, "radar-to-eye distance in metres")
+		azimuth   = flag.Float64("azimuth", 0, "azimuth off-axis angle in degrees")
+		elevation = flag.Float64("elevation", 0, "elevation off-axis angle in degrees")
+		road      = flag.String("road", "smooth", "road type: smooth|urban|manoeuvre|bumpy")
+		env       = flag.String("env", "lab", "environment: lab|driving")
+		state     = flag.String("state", "awake", "driver state: awake|drowsy")
+		glasses   = flag.String("glasses", "none", "eyewear: none|myopia|sunglasses")
+		seed      = flag.Int64("seed", 42, "scenario random seed")
+		drowsy    = flag.Bool("drowsy", false, "run the calibrate-then-classify drowsiness demo")
+		verbose   = flag.Bool("v", false, "print each detected blink")
+	)
+	flag.Parse()
+
+	spec := blinkradar.DefaultSpec()
+	spec.Subject = blinkradar.NewSubject(*subjectID)
+	spec.Duration = *duration
+	spec.EyeDistance = *distance
+	spec.AzimuthDeg = *azimuth
+	spec.ElevationDeg = *elevation
+	spec.Seed = *seed
+
+	switch *env {
+	case "lab":
+		spec.Environment = blinkradar.Lab
+	case "driving":
+		spec.Environment = blinkradar.Driving
+	default:
+		log.Fatalf("unknown environment %q", *env)
+	}
+	switch *road {
+	case "smooth":
+		spec.Road = blinkradar.SmoothHighway
+	case "urban":
+		spec.Road = blinkradar.UrbanRoad
+	case "manoeuvre":
+		spec.Road = blinkradar.ManoeuvreHeavy
+	case "bumpy":
+		spec.Road = blinkradar.BumpyRoad
+	default:
+		log.Fatalf("unknown road type %q", *road)
+	}
+	switch *state {
+	case "awake":
+		spec.State = blinkradar.Awake
+	case "drowsy":
+		spec.State = blinkradar.Drowsy
+	default:
+		log.Fatalf("unknown state %q", *state)
+	}
+	switch *glasses {
+	case "none":
+		spec.Subject.Glasses = blinkradar.NoGlasses
+	case "myopia":
+		spec.Subject.Glasses = blinkradar.MyopiaGlasses
+	case "sunglasses":
+		spec.Subject.Glasses = blinkradar.Sunglasses
+	default:
+		log.Fatalf("unknown glasses %q", *glasses)
+	}
+
+	if *drowsy {
+		if err := runDrowsyDemo(spec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runDetection(spec, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runDetection(spec blinkradar.Spec, verbose bool) error {
+	fmt.Printf("Simulating %s capture: subject %d, %s, %.0f s at %.2f m (seed %d)\n",
+		spec.Environment, spec.Subject.ID, spec.State, spec.Duration, spec.EyeDistance, spec.Seed)
+	capture, err := blinkradar.Generate(spec)
+	if err != nil {
+		return err
+	}
+	events, det, err := blinkradar.Detect(blinkradar.DefaultConfig(), capture.Frames)
+	if err != nil {
+		return err
+	}
+	truth := blinkradar.TrimWarmup(capture.Truth, blinkradar.DefaultWarmup)
+	m := blinkradar.Match(truth, events, 0)
+	fmt.Printf("Ground truth: %d blinks (%d scored after %.0f s warm-up)\n",
+		len(capture.Truth), len(truth), blinkradar.DefaultWarmup)
+	fmt.Printf("Detected:     %d blinks on range bin %d (true eye bin %d)\n",
+		len(events), det.Bin(), capture.EyeBin)
+	fmt.Printf("Accuracy:     %.1f%%   Precision: %.1f%%   F1: %.2f\n",
+		m.Accuracy()*100, m.Precision()*100, m.F1())
+	fmt.Printf("Pipeline:     %d restarts, %d bin switches\n", det.Restarts(), det.BinSwitches())
+	if verbose {
+		for _, e := range events {
+			fmt.Printf("  blink at %6.2f s  duration %3.0f ms  amplitude %.3f\n",
+				e.Time, e.Duration*1000, e.Amplitude)
+		}
+	}
+	return nil
+}
+
+// runDrowsyDemo calibrates a per-driver model on one awake and one
+// drowsy recording, then classifies held-out windows of both states.
+func runDrowsyDemo(spec blinkradar.Spec) error {
+	cfg := blinkradar.DefaultConfig()
+	const windowSec = 60
+
+	session := func(state blinkradar.State, seedOffset int64, dur float64) ([]blinkradar.WindowFeatures, error) {
+		s := spec
+		s.State = state
+		s.Environment = blinkradar.Driving
+		s.Duration = dur
+		s.Seed = spec.Seed + seedOffset
+		capture, err := blinkradar.Generate(s)
+		if err != nil {
+			return nil, err
+		}
+		events, _, err := blinkradar.Detect(cfg, capture.Frames)
+		if err != nil {
+			return nil, err
+		}
+		return blinkradar.ExtractWindows(events, dur, windowSec)
+	}
+
+	fmt.Printf("Calibrating driver %d (3 min awake + 3 min drowsy)...\n", spec.Subject.ID)
+	trainAwake, err := session(blinkradar.Awake, 1, 180)
+	if err != nil {
+		return err
+	}
+	trainDrowsy, err := session(blinkradar.Drowsy, 2, 180)
+	if err != nil {
+		return err
+	}
+	var model blinkradar.DrowsinessModel
+	if err := model.Train(trainAwake, trainDrowsy); err != nil {
+		return err
+	}
+	ar, dr, ad, dd := model.Thresholds()
+	fmt.Printf("Model: awake %.1f blinks/min (%.0f ms), drowsy %.1f blinks/min (%.0f ms)\n",
+		ar, ad*1000, dr, dd*1000)
+
+	correct, total := 0, 0
+	for _, tc := range []struct {
+		state blinkradar.State
+		name  string
+	}{{blinkradar.Awake, "awake"}, {blinkradar.Drowsy, "drowsy"}} {
+		windows, err := session(tc.state, 10+int64(tc.state), 240)
+		if err != nil {
+			return err
+		}
+		for i, w := range windows {
+			got, posterior, err := model.Classify(w)
+			if err != nil {
+				return err
+			}
+			want := tc.state == blinkradar.Drowsy
+			mark := "OK "
+			if got == want {
+				correct++
+			} else {
+				mark = "ERR"
+			}
+			total++
+			fmt.Printf("  [%s] %s window %d: %4.1f blinks/min -> drowsy=%v (p=%.2f)\n",
+				mark, tc.name, i+1, w.BlinkRate, got, posterior)
+		}
+	}
+	if total > 0 {
+		fmt.Printf("Drowsiness detection accuracy: %.1f%% over %d windows\n",
+			float64(correct)/float64(total)*100, total)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command radard is the radar daemon: the stand-in for the Raspberry Pi
+// attached to the impulse radio. It either simulates a live capture or
+// replays a file written by radarsim, and broadcasts frames over TCP to
+// any number of radarwatch clients, paced at the radio frame rate.
+//
+// Usage:
+//
+//	radard -addr :7341 [-file capture.brc] [-loop] [flags]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blinkradar"
+	"blinkradar/internal/transport"
+)
+
+func main() {
+	logger := log.New(os.Stderr, "radard: ", log.LstdFlags)
+	var (
+		addr      = flag.String("addr", ":7341", "TCP listen address")
+		file      = flag.String("file", "", "replay a radarsim capture instead of simulating")
+		loop      = flag.Bool("loop", true, "repeat the capture indefinitely")
+		pace      = flag.Bool("pace", true, "pace frames to the radio frame rate")
+		speed     = flag.Float64("speed", 1, "playback speed multiplier when pacing")
+		subjectID = flag.Int("subject", 1, "participant profile id (simulated mode)")
+		duration  = flag.Float64("duration", 120, "simulated capture length in seconds")
+		drowsy    = flag.Bool("drowsy-state", false, "simulate a drowsy driver")
+		seed      = flag.Int64("seed", 1, "scenario seed (simulated mode)")
+	)
+	flag.Parse()
+
+	matrix, err := loadMatrix(*file, *subjectID, *duration, *drowsy, *seed, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	src := transport.NewMatrixSource(matrix, *pace, *loop)
+	if *pace && *speed != 1 {
+		src.SetSpeed(*speed)
+	}
+	defer src.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving %d-bin frames at %.1f fps on %s", matrix.NumBins(), matrix.FrameRate, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := transport.NewServer(src, logger)
+	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Fatal(err)
+	}
+}
+
+// loadMatrix replays a capture file or simulates a fresh one.
+func loadMatrix(path string, subjectID int, duration float64, drowsy bool, seed int64, logger *log.Logger) (*blinkradar.FrameMatrix, error) {
+	if path == "" {
+		spec := blinkradar.DefaultSpec()
+		spec.Subject = blinkradar.NewSubject(subjectID)
+		spec.Environment = blinkradar.Driving
+		spec.Duration = duration
+		spec.Seed = seed
+		if drowsy {
+			spec.State = blinkradar.Drowsy
+		}
+		logger.Printf("simulating subject %d, %s, %.0f s", subjectID, spec.State, duration)
+		capture, err := blinkradar.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		return capture.Frames, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open capture: %w", err)
+	}
+	defer f.Close()
+	return transport.ReadCapture(f)
+}

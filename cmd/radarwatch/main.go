@@ -1,0 +1,91 @@
+// Command radarwatch connects to a radard daemon, runs the real-time
+// detection pipeline on the live frame stream, and prints blinks and
+// rolling drowsiness assessments as they happen — the in-car monitor
+// half of the deployment.
+//
+// Usage:
+//
+//	radarwatch -addr localhost:7341 [-window 60]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blinkradar"
+	"blinkradar/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("radarwatch: ")
+	var (
+		addr   = flag.String("addr", "localhost:7341", "radard address")
+		window = flag.Float64("window", 60, "drowsiness window in seconds")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client, err := transport.Dial(ctx, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	hello := client.Hello()
+	fmt.Printf("connected: %d bins at %.1f fps, %.1f mm bin spacing\n",
+		hello.NumBins, hello.FrameRate, hello.BinSpacing*1000)
+
+	monitor, err := blinkradar.NewMonitor(blinkradar.DefaultConfig(), int(hello.NumBins), hello.FrameRate, *window)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = client.Run(ctx, func(f transport.Frame) error {
+		ev, ok, assessment, err := monitor.Feed(f.Bins)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Printf("[%8.2fs] blink  duration %3.0f ms  amplitude %.3f (bin %d)\n",
+				ev.Time, ev.Duration*1000, ev.Amplitude, ev.Bin)
+		}
+		if assessment != nil {
+			state := "uncalibrated"
+			if assessment.Calibrated {
+				state = "awake"
+				if assessment.Drowsy {
+					state = "DROWSY"
+				}
+			}
+			line := fmt.Sprintf("[%8.2fs] window %.1f blinks/min (mean %3.0f ms) -> %s",
+				assessment.WindowEnd, assessment.Features.BlinkRate,
+				assessment.Features.MeanBlinkDuration*1000, state)
+			if v := assessment.Vitals; v != nil {
+				line += fmt.Sprintf("  [resp %.1f bpm", v.RespirationBPM())
+				if v.HeartHz > 0 {
+					line += fmt.Sprintf(", heart %.0f bpm", v.HeartBPM())
+				}
+				line += "]"
+			}
+			fmt.Println(line)
+		}
+		return nil
+	})
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, io.EOF):
+		fmt.Println("stream ended")
+	default:
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Drowsydrive demonstrates the full drowsy-driving monitor: calibrate a
+// per-driver model from enrolment recordings, then stream a long drive
+// whose driver turns drowsy halfway through a bumpy road, and watch the
+// monitor's one-minute assessments flip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blinkradar"
+)
+
+const windowSec = 60
+
+func main() {
+	driver := blinkradar.NewSubject(4)
+	cfg := blinkradar.DefaultConfig()
+
+	// --- Enrolment: record awake and drowsy sessions covering the
+	// deployment's road conditions and slice them into calibration
+	// windows (paper Section V ground truth protocol).
+	fmt.Println("calibrating driver 4 ...")
+	var awakeWindows, drowsyWindows []blinkradar.WindowFeatures
+	for i, road := range []blinkradar.RoadType{blinkradar.SmoothHighway, blinkradar.BumpyRoad} {
+		aw, err := enrolmentWindows(cfg, driver, blinkradar.Awake, road, 301+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dw, err := enrolmentWindows(cfg, driver, blinkradar.Drowsy, road, 311+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		awakeWindows = append(awakeWindows, aw...)
+		drowsyWindows = append(drowsyWindows, dw...)
+	}
+
+	// --- Live monitoring: an awake drive followed by a drowsy one on a
+	// bumpy road, streamed frame by frame through the Monitor.
+	specs := []blinkradar.Spec{
+		driveSpec(driver, blinkradar.Awake, blinkradar.SmoothHighway, 401),
+		driveSpec(driver, blinkradar.Drowsy, blinkradar.BumpyRoad, 402),
+	}
+	for _, spec := range specs {
+		capture, err := blinkradar.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		monitor, err := blinkradar.NewMonitor(cfg, capture.Frames.NumBins(), capture.Frames.FrameRate, windowSec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := monitor.Calibrate(awakeWindows, drowsyWindows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s drive on %s road (%d true blinks) ---\n",
+			spec.State, spec.Road, len(capture.Truth))
+		blinks := 0
+		for _, frame := range capture.Frames.Data {
+			_, ok, assessment, err := monitor.Feed(frame)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				blinks++
+			}
+			if assessment == nil {
+				continue
+			}
+			verdict := "awake"
+			if assessment.Drowsy {
+				verdict = "DROWSY - pull over"
+			}
+			fmt.Printf("minute %d: %4.1f blinks/min (mean %3.0f ms) -> %s (p=%.2f)\n",
+				int(assessment.WindowEnd/windowSec), assessment.Features.BlinkRate,
+				assessment.Features.MeanBlinkDuration*1000, verdict, assessment.Posterior)
+		}
+		fmt.Printf("total detected blinks: %d\n", blinks)
+	}
+}
+
+// enrolmentWindows records a calibration session and extracts windows,
+// dropping the warm-up minute.
+func enrolmentWindows(cfg blinkradar.Config, driver blinkradar.Subject, state blinkradar.State, road blinkradar.RoadType, seed int64) ([]blinkradar.WindowFeatures, error) {
+	spec := driveSpec(driver, state, road, seed)
+	capture, err := blinkradar.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	events, _, err := blinkradar.Detect(cfg, capture.Frames)
+	if err != nil {
+		return nil, err
+	}
+	windows, err := blinkradar.ExtractWindows(events, spec.Duration, windowSec)
+	if err != nil {
+		return nil, err
+	}
+	if len(windows) < 2 {
+		return nil, fmt.Errorf("enrolment too short: %d windows", len(windows))
+	}
+	return windows[1:], nil
+}
+
+// driveSpec builds a 5-minute driving capture.
+func driveSpec(driver blinkradar.Subject, state blinkradar.State, road blinkradar.RoadType, seed int64) blinkradar.Spec {
+	spec := blinkradar.DefaultSpec()
+	spec.Subject = driver
+	spec.Environment = blinkradar.Driving
+	spec.State = state
+	spec.Road = road
+	spec.Duration = 5 * 60
+	spec.Seed = seed
+	return spec
+}

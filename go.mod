@@ -1,0 +1,3 @@
+module blinkradar
+
+go 1.22

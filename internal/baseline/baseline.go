@@ -1,0 +1,181 @@
+// Package baseline implements the comparison detectors that BlinkRadar's
+// design choices are evaluated against:
+//
+//   - NaiveBinSelect: picks the range bin with the strongest mean
+//     amplitude — the "naive approach" the paper rejects because the
+//     eye's return is weaker than seats and steering wheel.
+//   - AmplitudeDetector: thresholds the 1-D amplitude waveform of a bin
+//     instead of the I/Q distance-from-viewing-position waveform.
+//   - PhaseDetector: thresholds the unwrapped phase waveform, losing the
+//     amplitude half of the blink signature.
+//
+// All baselines share the paper's preprocessing so differences isolate
+// the contribution under study.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"blinkradar/internal/core"
+	"blinkradar/internal/dsp"
+	"blinkradar/internal/iq"
+	"blinkradar/internal/rf"
+)
+
+// NaiveBinSelect returns the non-guard bin with the highest time-mean
+// power: the amplitude-peak heuristic for locating the eye. In a cabin
+// this usually locks onto the seat back or steering wheel (Fig. 6b).
+func NaiveBinSelect(m *rf.FrameMatrix, guard int) (int, error) {
+	if m.NumBins() <= guard {
+		return 0, fmt.Errorf("baseline: no bins beyond guard %d", guard)
+	}
+	power := m.MeanPowerPerBin()
+	best := guard
+	for b := guard + 1; b < len(power); b++ {
+		if power[b] > power[best] {
+			best = b
+		}
+	}
+	return best, nil
+}
+
+// Config parameterises the waveform baselines. Thresholds follow the
+// same K-times-robust-sigma rule as the main pipeline so the comparison
+// is about the waveform, not the rule.
+type Config struct {
+	// ThresholdK is the detection threshold multiplier.
+	ThresholdK float64
+	// SmoothFrames is the waveform moving-average width.
+	SmoothFrames int
+	// RefractorySec merges triggers closer than this.
+	RefractorySec float64
+	// DetrendFrames is the trailing-median detrend window.
+	DetrendFrames int
+	// UseVarianceBinSelect selects the bin with BlinkRadar's variance
+	// method instead of the naive amplitude peak.
+	UseVarianceBinSelect bool
+}
+
+// DefaultConfig mirrors the main pipeline's LEVD settings.
+func DefaultConfig() Config {
+	return Config{
+		ThresholdK:    5,
+		SmoothFrames:  3,
+		RefractorySec: 0.5,
+		DetrendFrames: 25,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.ThresholdK <= 0:
+		return fmt.Errorf("baseline: threshold multiplier must be positive, got %g", c.ThresholdK)
+	case c.SmoothFrames <= 0:
+		return fmt.Errorf("baseline: smoothing width must be positive, got %d", c.SmoothFrames)
+	case c.RefractorySec < 0:
+		return fmt.Errorf("baseline: refractory must be non-negative, got %g", c.RefractorySec)
+	case c.DetrendFrames <= 2:
+		return fmt.Errorf("baseline: detrend window must exceed 2, got %d", c.DetrendFrames)
+	}
+	return nil
+}
+
+// selectBin picks the analysis bin per the configuration.
+func selectBin(cfg Config, coreCfg core.Config, pre *rf.FrameMatrix) (int, error) {
+	if cfg.UseVarianceBinSelect {
+		best, err := core.SelectBinMatrix(coreCfg, pre)
+		if err != nil {
+			return 0, err
+		}
+		return best.Bin, nil
+	}
+	return NaiveBinSelect(pre, coreCfg.GuardBins)
+}
+
+// detectOnWaveform runs the shared extremum-threshold rule on a scalar
+// waveform sampled at fps and returns detected events.
+func detectOnWaveform(cfg Config, w []float64, fps float64, bin int) ([]core.BlinkEvent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	smoothed, err := dsp.MovingAverage(w, cfg.SmoothFrames)
+	if err != nil {
+		return nil, err
+	}
+	// Trailing-median detrend, offline form.
+	resid := make([]float64, len(smoothed))
+	for i := range smoothed {
+		lo := i - cfg.DetrendFrames
+		if lo < 0 {
+			lo = 0
+		}
+		resid[i] = smoothed[i] - dsp.Median(smoothed[lo:i+1])
+	}
+	sigma := 1.4826 * dsp.MAD(resid)
+	if sigma == 0 {
+		return nil, nil
+	}
+	thr := cfg.ThresholdK * sigma
+	ext := dsp.LocalExtrema(resid)
+	var events []core.BlinkEvent
+	last := math.Inf(-1)
+	for i := 1; i < len(ext); i++ {
+		diff := math.Abs(ext[i].Value - ext[i-1].Value)
+		if diff <= thr {
+			continue
+		}
+		t := float64(ext[i-1].Index) / fps
+		if t-last < cfg.RefractorySec {
+			if t > last {
+				last = t
+			}
+			continue
+		}
+		last = t
+		span := float64(ext[i].Index-ext[i-1].Index) / fps
+		dur := span * 3
+		if dur < 0.075 {
+			dur = 0.075
+		}
+		if dur > 1.5 {
+			dur = 1.5
+		}
+		events = append(events, core.BlinkEvent{Time: t, Duration: dur, Amplitude: diff, Bin: bin})
+	}
+	return events, nil
+}
+
+// DetectAmplitude runs the amplitude-only baseline over a capture: the
+// bin's |z| waveform replaces the distance-from-viewing-position
+// waveform, so phase information is discarded.
+func DetectAmplitude(cfg Config, coreCfg core.Config, m *rf.FrameMatrix) ([]core.BlinkEvent, error) {
+	pre, err := core.PreprocessMatrix(coreCfg, m)
+	if err != nil {
+		return nil, err
+	}
+	bin, err := selectBin(cfg, coreCfg, pre)
+	if err != nil {
+		return nil, err
+	}
+	amp := iq.Amplitudes(pre.SlowTime(bin))
+	return detectOnWaveform(cfg, amp, m.FrameRate, bin)
+}
+
+// DetectPhase runs the phase-only baseline over a capture: the bin's
+// unwrapped phase waveform is thresholded, discarding the amplitude
+// half of the blink signature and leaving the detector exposed to every
+// phase-modulating interference (respiration, BCG, vibration).
+func DetectPhase(cfg Config, coreCfg core.Config, m *rf.FrameMatrix) ([]core.BlinkEvent, error) {
+	pre, err := core.PreprocessMatrix(coreCfg, m)
+	if err != nil {
+		return nil, err
+	}
+	bin, err := selectBin(cfg, coreCfg, pre)
+	if err != nil {
+		return nil, err
+	}
+	ph := iq.UnwrapPhases(pre.SlowTime(bin))
+	return detectOnWaveform(cfg, ph, m.FrameRate, bin)
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"blinkradar/internal/iq"
+	"blinkradar/internal/rf"
+)
+
+// BinScore is the selection diagnostics for one range bin.
+type BinScore struct {
+	// Bin is the range-bin index.
+	Bin int
+	// Variance is the 2-D I/Q variance of the bin's recent samples.
+	Variance float64
+	// ArcQuality in [0, 1] rewards bins whose samples lie on a clean
+	// circular arc (embedded respiration/BCG interference) and
+	// penalises bins whose variance comes from amplitude churn such as
+	// chest bin-migration or passenger fidgeting.
+	ArcQuality float64
+	// Score is the combined selection score.
+	Score float64
+}
+
+// ScoreBin evaluates one bin's slow-time window. The paper first ranks
+// bins by 2-D variance, then validates with the arc fit that also
+// yields the viewing position; combining both here folds that
+// validation into a single score.
+func ScoreBin(bin int, series []complex128) BinScore {
+	s := BinScore{Bin: bin, Variance: iq.Variance2D(series)}
+	if s.Variance <= 0 {
+		return s
+	}
+	c, err := iq.FitCirclePratt(series)
+	if err != nil || c.Radius <= 0 {
+		s.ArcQuality = 0
+		return s
+	}
+	// Judge arc quality on a trimmed residual: blinks throw ~15% of the
+	// eye bin's samples off the circle, and punishing that would bias
+	// selection toward blink-free neighbours (chin, forehead) whose
+	// bins carry no blink signature.
+	rel := trimmedRMSE(series, c) / (0.15 * c.Radius)
+	s.ArcQuality = 1 / (1 + rel*rel)
+	// Embedded vital-sign interference at the eye subtends a short arc
+	// (millimetre motion -> well under a radian of phase). Bins whose
+	// trajectories wrap far around the circle get their variance from
+	// centimetre-scale motion — chest breathing, limb movement, a
+	// fidgeting passenger — and are down-weighted hard (quadratically).
+	const maxArcRad = 2.0
+	if ext := iq.AngularExtent(series, c.Center); ext > maxArcRad {
+		p := maxArcRad / ext
+		s.ArcQuality *= p * p * p
+	}
+	// Short arcs are strongly anisotropic point clouds; full rotations
+	// and noise balls are not. Eccentricity separates them even when
+	// variance alone cannot.
+	ecc := iq.Eccentricity(series)
+	s.ArcQuality *= 0.1 + 0.9*ecc*ecc
+	s.Score = s.Variance * s.ArcQuality
+	return s
+}
+
+// SelectBin picks the eye's range bin from per-bin slow-time windows.
+// series(bin) must return the recent background-subtracted samples of
+// the bin. Bins below guard are excluded (antenna direct path). The
+// topK highest-variance candidates are arc-scored, and the best
+// combined score wins. It returns the winning score and the evaluated
+// candidates sorted by descending score.
+func SelectBin(series func(bin int) []complex128, numBins, guard, topK int) (BinScore, []BinScore, error) {
+	if numBins <= guard {
+		return BinScore{}, nil, fmt.Errorf("core: no bins beyond guard (%d bins, guard %d)", numBins, guard)
+	}
+	variances := make([]BinScore, 0, numBins-guard)
+	for b := guard; b < numBins; b++ {
+		variances = append(variances, BinScore{Bin: b, Variance: iq.Variance2D(series(b))})
+	}
+	sort.Slice(variances, func(i, j int) bool { return variances[i].Variance > variances[j].Variance })
+	if topK > len(variances) {
+		topK = len(variances)
+	}
+	candidates := make([]BinScore, 0, topK)
+	for _, v := range variances[:topK] {
+		candidates = append(candidates, ScoreBin(v.Bin, series(v.Bin)))
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Score > candidates[j].Score })
+	best := candidates[0]
+	if best.Score <= 0 {
+		// No arc-like bin: fall back to raw variance (still better
+		// than nothing, and the tracker's restart logic will recover).
+		best = variances[0]
+	}
+	return best, candidates, nil
+}
+
+// SelectBinMatrix is the offline convenience: selects the eye bin from
+// the trailing window of a preprocessed frame matrix.
+func SelectBinMatrix(cfg Config, m *rf.FrameMatrix) (BinScore, error) {
+	window := cfg.SelectWindowFrames
+	if window > m.NumFrames() {
+		window = m.NumFrames()
+	}
+	start := m.NumFrames() - window
+	best, _, err := SelectBin(func(bin int) []complex128 {
+		out := make([]complex128, window)
+		for k := 0; k < window; k++ {
+			out[k] = m.Data[start+k][bin]
+		}
+		return out
+	}, m.NumBins(), cfg.GuardBins, cfg.CandidateTopK)
+	return best, err
+}
+
+// trimmedRMSE returns the RMS radial residual of the best 80%% of
+// samples.
+func trimmedRMSE(series []complex128, c iq.Circle) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	res := make([]float64, 0, len(series))
+	for _, z := range series {
+		d := z - c.Center
+		r := math.Hypot(real(d), imag(d)) - c.Radius
+		res = append(res, r*r)
+	}
+	sort.Float64s(res)
+	keep := len(res) * 4 / 5
+	if keep < 1 {
+		keep = 1
+	}
+	var acc float64
+	for _, v := range res[:keep] {
+		acc += v
+	}
+	return math.Sqrt(acc / float64(keep))
+}
+
+// binRing stores the most recent `window` frames of every bin for
+// selection scoring, in a single flat allocation.
+type binRing struct {
+	buf    []complex128 // window * bins, frame-major
+	bins   int
+	window int
+	pos    int
+	count  int
+}
+
+func newBinRing(bins, window int) *binRing {
+	return &binRing{
+		buf:    make([]complex128, bins*window),
+		bins:   bins,
+		window: window,
+	}
+}
+
+// push stores one frame (len == bins).
+func (r *binRing) push(frame []complex128) {
+	copy(r.buf[r.pos*r.bins:(r.pos+1)*r.bins], frame)
+	r.pos = (r.pos + 1) % r.window
+	if r.count < r.window {
+		r.count++
+	}
+}
+
+// series returns the stored samples of one bin, oldest first.
+func (r *binRing) series(bin int) []complex128 {
+	out := make([]complex128, 0, r.count)
+	start := r.pos - r.count
+	for i := 0; i < r.count; i++ {
+		idx := start + i
+		if idx < 0 {
+			idx += r.window
+		}
+		out = append(out, r.buf[(idx%r.window)*r.bins+bin])
+	}
+	return out
+}
+
+// latest returns the most recent sample of one bin (zero if empty).
+func (r *binRing) latest(bin int) complex128 {
+	if r.count == 0 {
+		return 0
+	}
+	idx := r.pos - 1
+	if idx < 0 {
+		idx += r.window
+	}
+	return r.buf[idx*r.bins+bin]
+}
+
+func (r *binRing) reset() {
+	r.pos = 0
+	r.count = 0
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// seriesSets builds synthetic per-bin slow-time clouds:
+// bin 0: thermal noise; bin 1: short vital-sign arc; bin 2: full-circle
+// chest-like rotation; bin 3: strong static leak (near-constant).
+func seriesSets(n int, seed int64) func(bin int) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	noise := func(sigma float64) complex128 {
+		return complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	bins := make([][]complex128, 4)
+	for i := range bins {
+		bins[i] = make([]complex128, n)
+	}
+	for k := 0; k < n; k++ {
+		tt := float64(k) / 25
+		bins[0][k] = noise(0.005)
+		arcPhase := 0.35 * math.Sin(2*math.Pi*0.25*tt)
+		bins[1][k] = complex(0.3, 0.4) + cmplx.Rect(1.2, arcPhase) + noise(0.005)
+		bins[2][k] = cmplx.Rect(0.9, 2*math.Pi*0.25*tt*12) + noise(0.005)
+		bins[3][k] = complex(2.5, -1) + noise(0.005)
+	}
+	return func(bin int) []complex128 { return bins[bin] }
+}
+
+func TestScoreBinPrefersArc(t *testing.T) {
+	series := seriesSets(300, 1)
+	noiseScore := ScoreBin(0, series(0))
+	arcScore := ScoreBin(1, series(1))
+	chestScore := ScoreBin(2, series(2))
+	staticScore := ScoreBin(3, series(3))
+	if arcScore.Score <= noiseScore.Score {
+		t.Fatalf("arc score %g not above noise %g", arcScore.Score, noiseScore.Score)
+	}
+	if arcScore.Score <= chestScore.Score {
+		t.Fatalf("arc score %g not above full-rotation %g", arcScore.Score, chestScore.Score)
+	}
+	if arcScore.Score <= staticScore.Score {
+		t.Fatalf("arc score %g not above static %g", arcScore.Score, staticScore.Score)
+	}
+	if arcScore.ArcQuality < 0.3 {
+		t.Fatalf("arc quality %g too low for a clean arc", arcScore.ArcQuality)
+	}
+}
+
+func TestSelectBinFindsArc(t *testing.T) {
+	series := seriesSets(300, 2)
+	best, candidates, err := SelectBin(series, 4, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Bin != 1 {
+		t.Fatalf("selected bin %d, want the arc bin 1 (candidates %+v)", best.Bin, candidates)
+	}
+	if len(candidates) == 0 {
+		t.Fatal("no candidates returned")
+	}
+}
+
+func TestSelectBinGuard(t *testing.T) {
+	series := seriesSets(300, 3)
+	// Guarding out everything must fail loudly.
+	if _, _, err := SelectBin(series, 4, 4, 2); err == nil {
+		t.Fatal("guard >= bins must be rejected")
+	}
+	// Guarding out the arc bin forces another winner.
+	best, _, err := SelectBin(series, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Bin < 2 {
+		t.Fatalf("guarded bin %d selected", best.Bin)
+	}
+}
+
+func TestBinRingSeriesOrderProperty(t *testing.T) {
+	// The ring must return the most recent `window` frames in order,
+	// for any push count.
+	f := func(seed int64, rawPushes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const bins, window = 3, 16
+		r := newBinRing(bins, window)
+		pushes := int(rawPushes)%60 + 1
+		history := make([][]complex128, 0, pushes)
+		frame := make([]complex128, bins)
+		for i := 0; i < pushes; i++ {
+			for b := range frame {
+				frame[b] = complex(rng.NormFloat64(), float64(i))
+			}
+			history = append(history, append([]complex128(nil), frame...))
+			r.push(frame)
+		}
+		lo := len(history) - window
+		if lo < 0 {
+			lo = 0
+		}
+		for b := 0; b < bins; b++ {
+			got := r.series(b)
+			want := history[lo:]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i][b] {
+					return false
+				}
+			}
+			if r.latest(b) != want[len(want)-1][b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinRingReset(t *testing.T) {
+	r := newBinRing(2, 4)
+	r.push([]complex128{1, 2})
+	r.reset()
+	if r.count != 0 || len(r.series(0)) != 0 {
+		t.Fatal("reset ring must be empty")
+	}
+	if r.latest(0) != 0 {
+		t.Fatal("latest of empty ring must be zero")
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"blinkradar/internal/rf"
+)
+
+// Detector is the complete real-time BlinkRadar pipeline. Feed frames
+// as they arrive; detections are returned as soon as the corresponding
+// extremum pair is confirmed (paper: one output every frame period
+// after the 2 s cold start). Detector is not safe for concurrent use.
+type Detector struct {
+	cfg  Config
+	fps  float64
+	bins int
+
+	pre     *Preprocessor
+	ring    *binRing
+	tracker *Tracker
+	levd    *LEVD
+
+	frame       int
+	matured     bool
+	everMatured bool
+	challenger  int
+	bin         int
+	binScore    float64
+	haveBin     bool
+	settleUntil int
+	restarts    int
+	binSwitches int
+
+	// Motion-restart state.
+	restartAt int
+	medianBuf []float64
+	medianPos int
+	medianCnt int
+	sustain   int
+
+	// Optional diagnostics trace.
+	trace      bool
+	distTrace  []float64
+	thrTrace   []float64
+	scratch    []complex128
+	eventCount int
+}
+
+// NewDetector builds a detector for frames with numBins range bins at
+// frameRate frames per second. Options override DefaultConfig-derived
+// settings of cfg.
+func NewDetector(cfg Config, numBins int, frameRate float64, opts ...Option) (*Detector, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numBins <= cfg.GuardBins {
+		return nil, fmt.Errorf("core: need more than %d guard bins, got %d bins", cfg.GuardBins, numBins)
+	}
+	if frameRate <= 0 {
+		return nil, fmt.Errorf("core: frame rate must be positive, got %g", frameRate)
+	}
+	pre, err := NewPreprocessor(cfg, numBins, frameRate)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := NewTracker(cfg.FitWindowFrames, cfg.RefitIntervalFrames, cfg.ColdStartFrames, cfg.CenterBlend)
+	if err != nil {
+		return nil, err
+	}
+	levd, err := NewLEVD(cfg, frameRate)
+	if err != nil {
+		return nil, err
+	}
+	window := cfg.SelectWindowFrames
+	if window < cfg.ColdStartFrames {
+		window = cfg.ColdStartFrames
+	}
+	return &Detector{
+		cfg:       cfg,
+		fps:       frameRate,
+		bins:      numBins,
+		pre:       pre,
+		ring:      newBinRing(numBins, window),
+		tracker:   tracker,
+		levd:      levd,
+		bin:       -1,
+		medianBuf: make([]float64, int(frameRate*2)+1),
+		scratch:   make([]complex128, numBins),
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// EnableTrace records the distance waveform and threshold per frame for
+// figure generation. Call before feeding frames.
+func (d *Detector) EnableTrace() { d.trace = true }
+
+// Trace returns the recorded per-frame distance waveform and threshold
+// (empty unless EnableTrace was called). Frames before tracking starts
+// hold zeros.
+func (d *Detector) Trace() (distance, threshold []float64) {
+	return d.distTrace, d.thrTrace
+}
+
+// Bin returns the currently tracked range bin (-1 before selection).
+func (d *Detector) Bin() int {
+	if !d.haveBin {
+		return -1
+	}
+	return d.bin
+}
+
+// CurrentSample returns the most recent background-subtracted I/Q
+// sample of the tracked bin, for consumers that analyse the same
+// stream (e.g. vital-sign estimation). ok is false before bin
+// selection.
+func (d *Detector) CurrentSample() (z complex128, bin int, ok bool) {
+	if !d.haveBin || d.ring.count == 0 {
+		return 0, -1, false
+	}
+	return d.ring.latest(d.bin), d.bin, true
+}
+
+// Restarts returns how many full restarts were triggered by large body
+// motion.
+func (d *Detector) Restarts() int { return d.restarts }
+
+// BinSwitches returns how many adaptive bin migrations occurred.
+func (d *Detector) BinSwitches() int { return d.binSwitches }
+
+// Frame returns the number of frames consumed so far.
+func (d *Detector) Frame() int { return d.frame }
+
+// Feed consumes one radar frame (length must equal numBins). The input
+// slice is not retained or modified. It returns a detected blink and
+// true when a detection is confirmed at this frame.
+func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
+	if len(frame) != d.bins {
+		return BlinkEvent{}, false, fmt.Errorf("core: frame has %d bins, detector configured for %d", len(frame), d.bins)
+	}
+	copy(d.scratch, frame)
+	if err := d.pre.Process(d.scratch); err != nil {
+		return BlinkEvent{}, false, err
+	}
+	d.ring.push(d.scratch)
+	d.frame++
+
+	if !d.haveBin {
+		if d.frame >= d.cfg.ColdStartFrames {
+			d.selectBin(false)
+		}
+		d.pushTrace(0)
+		return BlinkEvent{}, false, nil
+	}
+
+	dist, ok := d.tracker.Push(d.scratch[d.bin])
+	if !ok {
+		d.pushTrace(0)
+		return BlinkEvent{}, false, nil
+	}
+	if !d.matured && d.tracker.Mature() {
+		d.matured = true
+		if !d.everMatured {
+			// First convergence: discard the transient-contaminated
+			// estimate entirely.
+			d.everMatured = true
+			d.levd.ResetSigma()
+		}
+	}
+	d.levd.SetFrozen(!d.matured && d.everMatured)
+	d.levd.SetFloor(d.cfg.MinThresholdFrac * d.tracker.Radius())
+	ev, fired := d.levd.Push(dist, d.frame)
+	d.pushTrace(dist)
+
+	d.checkMotionRestart(dist)
+	if d.frame%d.cfg.ReselectIntervalFrames == 0 {
+		d.maybeReselect()
+	}
+
+	if fired && d.frame >= d.settleUntil {
+		ev.Bin = d.bin
+		d.eventCount++
+		return ev, true, nil
+	}
+	return BlinkEvent{}, false, nil
+}
+
+// pushTrace records diagnostics when tracing is enabled.
+func (d *Detector) pushTrace(dist float64) {
+	if !d.trace {
+		return
+	}
+	d.distTrace = append(d.distTrace, dist)
+	d.thrTrace = append(d.thrTrace, d.levd.Threshold())
+}
+
+// selectBin runs eye-bin identification over the selection ring and
+// seeds the tracker. reselect marks adaptive re-selection (keeps sigma).
+func (d *Detector) selectBin(reselect bool) {
+	best, _, err := SelectBin(d.ring.series, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK)
+	if err != nil || (best.Score <= 0 && best.Variance <= 0) {
+		return
+	}
+	d.bin = best.Bin
+	d.binScore = best.Score
+	d.haveBin = true
+	d.matured = false
+	d.tracker.Reset()
+	d.tracker.Seed(tail(d.ring.series(d.bin), d.cfg.FitWindowFrames))
+	d.levd.Reset()
+	if reselect {
+		d.settleUntil = d.frame + d.cfg.SettleFrames
+	}
+}
+
+// maybeReselect migrates to a clearly better bin (adaptive update of
+// the observation position as the driver's posture drifts).
+func (d *Detector) maybeReselect() {
+	best, _, err := SelectBin(d.ring.series, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK)
+	if err != nil {
+		return
+	}
+	current := ScoreBin(d.bin, d.ring.series(d.bin))
+	d.binScore = current.Score
+	if best.Bin == d.bin {
+		return
+	}
+	if best.Score > d.cfg.SwitchScoreRatio*current.Score {
+		// Demand persistence: a challenger must win two consecutive
+		// evaluations, or transient interference would churn the
+		// tracker through bins and keep it perpetually immature.
+		if best.Bin != d.challenger {
+			d.challenger = best.Bin
+			return
+		}
+		d.challenger = -1
+		d.bin = best.Bin
+		d.binScore = best.Score
+		d.binSwitches++
+		d.matured = false
+		d.tracker.Reset()
+		d.tracker.Seed(tail(d.ring.series(d.bin), d.cfg.FitWindowFrames))
+		d.levd.Reset()
+		d.settleUntil = d.frame + d.cfg.SettleFrames
+	}
+}
+
+// checkMotionRestart restarts the whole pipeline when the distance
+// waveform departs from its running median for a sustained period —
+// the signature of a large posture change, unlike a transient blink.
+func (d *Detector) checkMotionRestart(dist float64) {
+	d.medianBuf[d.medianPos] = dist
+	d.medianPos = (d.medianPos + 1) % len(d.medianBuf)
+	if d.medianCnt < len(d.medianBuf) {
+		d.medianCnt++
+		return
+	}
+	med := quickMedian(d.medianBuf[:d.medianCnt])
+	sigma := d.levd.Sigma()
+	if sigma <= 0 {
+		return
+	}
+	if math.Abs(dist-med) > d.cfg.RestartVarRatio*sigma {
+		d.sustain++
+	} else if d.sustain > 0 {
+		d.sustain--
+	}
+	if d.sustain >= d.cfg.MotionSustainFrames {
+		d.restart()
+	}
+}
+
+// restart re-runs bin selection from the current ring, re-seeds the
+// tracker and clears the motion counter.
+func (d *Detector) restart() {
+	d.restarts++
+	d.sustain = 0
+	d.restartAt = d.frame
+	d.selectBin(true)
+}
+
+// tail returns the last n elements of s (or s itself if shorter).
+func tail(s []complex128, n int) []complex128 {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// quickMedian returns the median of values without modifying them. The
+// buffers involved are small (tens of samples), so a copy plus
+// insertion-style selection is cheap.
+func quickMedian(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	cp := make([]float64, n)
+	copy(cp, values)
+	// Partial selection sort up to the median index.
+	mid := n / 2
+	for i := 0; i <= mid; i++ {
+		minIdx := i
+		for j := i + 1; j < n; j++ {
+			if cp[j] < cp[minIdx] {
+				minIdx = j
+			}
+		}
+		cp[i], cp[minIdx] = cp[minIdx], cp[i]
+	}
+	return cp[mid]
+}
+
+// Flush returns any event still pending at end of stream (a blink whose
+// refractory window had not yet expired).
+func (d *Detector) Flush() (BlinkEvent, bool) {
+	ev, ok := d.levd.Flush()
+	if ok {
+		ev.Bin = d.bin
+	}
+	return ev, ok && d.frame >= d.settleUntil
+}
+
+// Detect runs the full pipeline over a recorded capture and returns all
+// detected blinks. It is the offline entry point used by experiments.
+func Detect(cfg Config, m *rf.FrameMatrix, opts ...Option) ([]BlinkEvent, *Detector, error) {
+	det, err := NewDetector(cfg, m.NumBins(), m.FrameRate, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var events []BlinkEvent
+	for _, frame := range m.Data {
+		ev, ok, err := det.Feed(frame)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			events = append(events, ev)
+		}
+	}
+	if ev, ok := det.Flush(); ok {
+		events = append(events, ev)
+	}
+	return events, det, nil
+}

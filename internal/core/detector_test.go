@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"blinkradar/internal/rf"
+)
+
+// syntheticCapture builds a frame matrix with one arc-tracing "face"
+// bin carrying blink bumps, plus static clutter and noise — a minimal
+// stand-in for the scenario package that keeps core tests free of the
+// scenario dependency.
+func syntheticCapture(t *testing.T, frames int, blinkFrames []int, seed int64) (*rf.FrameMatrix, int) {
+	t.Helper()
+	const bins = 40
+	const faceBin = 20
+	m, err := rf.NewFrameMatrix(frames, bins, 25, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inBlink := func(k int) float64 {
+		for _, b := range blinkFrames {
+			if k >= b && k < b+6 {
+				// Raised-cosine closure.
+				return 0.5 * (1 - math.Cos(2*math.Pi*float64(k-b)/6))
+			}
+		}
+		return 0
+	}
+	for k := 0; k < frames; k++ {
+		tt := float64(k) / 25
+		row := m.Data[k]
+		// Static clutter across a few bins.
+		row[3] += 1.5
+		row[30] += complex(0.8, -0.6)
+		// Face return: arc rotation from vital signs plus the blink's
+		// amplitude-and-phase excursion.
+		arc := 0.3*math.Sin(2*math.Pi*0.25*tt) + 0.1*math.Sin(2*math.Pi*1.2*tt)
+		c := inBlink(k)
+		amp := 1.4 + 0.35*c
+		phase := arc + 0.8*c
+		row[faceBin] += cmplx.Rect(amp, phase)
+		// Thermal noise everywhere.
+		for b := range row {
+			row[b] += complex(rng.NormFloat64()*0.004, rng.NormFloat64()*0.004)
+		}
+	}
+	return m, faceBin
+}
+
+func TestDetectorEndToEndSynthetic(t *testing.T) {
+	blinks := []int{500, 600, 700, 820, 950, 1100, 1250, 1400}
+	m, faceBin := syntheticCapture(t, 1500, blinks, 1)
+	events, det, err := Detect(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := det.Bin(); got < faceBin-2 || got > faceBin+2 {
+		t.Fatalf("selected bin %d, want near %d", got, faceBin)
+	}
+	// Every injected blink after warm-up must be detected within 0.5 s.
+	detected := 0
+	for _, b := range blinks {
+		want := float64(b) / 25
+		for _, e := range events {
+			if math.Abs(e.Time-want) < 0.5 {
+				detected++
+				break
+			}
+		}
+	}
+	if detected < len(blinks)-1 {
+		t.Fatalf("detected %d of %d injected blinks: %+v", detected, len(blinks), events)
+	}
+	if det.Frame() != 1500 {
+		t.Fatalf("frame counter %d", det.Frame())
+	}
+}
+
+func TestDetectorQuietScene(t *testing.T) {
+	m, _ := syntheticCapture(t, 1200, nil, 2)
+	events, _, err := Detect(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) > 3 {
+		t.Fatalf("%d false detections on a blink-free scene", len(events))
+	}
+}
+
+func TestDetectorFeedValidation(t *testing.T) {
+	det, err := NewDetector(DefaultConfig(), 40, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := det.Feed(make([]complex128, 39)); err == nil {
+		t.Fatal("wrong frame width must be rejected")
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(DefaultConfig(), 4, 25); err == nil {
+		t.Fatal("fewer bins than guard must be rejected")
+	}
+	if _, err := NewDetector(DefaultConfig(), 40, 0); err == nil {
+		t.Fatal("zero frame rate must be rejected")
+	}
+	bad := DefaultConfig()
+	bad.ThresholdK = 0
+	if _, err := NewDetector(bad, 40, 25); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+}
+
+func TestDetectorTrace(t *testing.T) {
+	m, _ := syntheticCapture(t, 600, []int{400}, 3)
+	det, err := NewDetector(DefaultConfig(), m.NumBins(), m.FrameRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.EnableTrace()
+	for _, frame := range m.Data {
+		if _, _, err := det.Feed(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist, thr := det.Trace()
+	if len(dist) != 600 || len(thr) != 600 {
+		t.Fatalf("trace lengths %d/%d, want 600", len(dist), len(thr))
+	}
+	// The tail of the trace must carry real distances.
+	if dist[590] == 0 {
+		t.Fatal("trace tail is empty")
+	}
+}
+
+func TestDetectorBinBeforeSelection(t *testing.T) {
+	det, err := NewDetector(DefaultConfig(), 40, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Bin() != -1 {
+		t.Fatalf("bin before selection %d, want -1", det.Bin())
+	}
+}
+
+func TestDetectorInputNotRetained(t *testing.T) {
+	det, err := NewDetector(DefaultConfig(), 40, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]complex128, 40)
+	frame[5] = 1 + 1i
+	if _, _, err := det.Feed(frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame[5] != 1+1i {
+		t.Fatal("Feed modified the caller's frame")
+	}
+}
+
+func TestDetectOfflineMatchesStreaming(t *testing.T) {
+	m, _ := syntheticCapture(t, 900, []int{500, 700}, 4)
+	offline, _, err := Detect(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DefaultConfig(), m.NumBins(), m.FrameRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []BlinkEvent
+	for _, frame := range m.Data {
+		if ev, ok, err := det.Feed(frame); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			streamed = append(streamed, ev)
+		}
+	}
+	if ev, ok := det.Flush(); ok {
+		streamed = append(streamed, ev)
+	}
+	if len(offline) != len(streamed) {
+		t.Fatalf("offline %d events, streaming %d", len(offline), len(streamed))
+	}
+	for i := range offline {
+		if offline[i] != streamed[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, offline[i], streamed[i])
+		}
+	}
+}
+
+func TestQuickMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 3}, // upper median for even n
+	}
+	for _, tc := range cases {
+		if got := quickMedian(tc.in); got != tc.want {
+			t.Errorf("quickMedian(%v) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	// Input untouched.
+	in := []float64{9, 1, 5}
+	quickMedian(in)
+	if in[0] != 9 || in[1] != 1 {
+		t.Fatal("quickMedian mutated its input")
+	}
+}
+
+func TestTail(t *testing.T) {
+	s := []complex128{1, 2, 3}
+	if got := tail(s, 2); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("tail %v", got)
+	}
+	if got := tail(s, 5); len(got) != 3 {
+		t.Fatalf("overlong tail %v", got)
+	}
+}
+
+// TestDetectorRecoversFromPostureJump injects a large mid-capture step
+// in the face geometry (bin shift plus amplitude change) and verifies
+// the adaptive machinery — reselection or restart — recovers detection
+// on the far side.
+func TestDetectorRecoversFromPostureJump(t *testing.T) {
+	const bins = 40
+	const fps = 25.0
+	frames := 3000
+	m, err := rf.NewFrameMatrix(frames, bins, fps, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	blinkFrames := []int{500, 700, 900, 2200, 2400, 2600, 2800}
+	inBlink := func(k int) float64 {
+		for _, b := range blinkFrames {
+			if k >= b && k < b+6 {
+				return 0.5 * (1 - math.Cos(2*math.Pi*float64(k-b)/6))
+			}
+		}
+		return 0
+	}
+	for k := 0; k < frames; k++ {
+		tt := float64(k) / fps
+		row := m.Data[k]
+		row[3] += 1.5
+		// The face sits at bin 18 for the first minute, then jumps
+		// five bins deeper (a seat-position change).
+		faceBin := 18
+		if k >= 1500 {
+			faceBin = 23
+		}
+		arc := 0.3*math.Sin(2*math.Pi*0.25*tt) + 0.1*math.Sin(2*math.Pi*1.2*tt)
+		c := inBlink(k)
+		row[faceBin] += cmplx.Rect(1.4+0.35*c, arc+0.8*c)
+		for b := range row {
+			row[b] += complex(rng.NormFloat64()*0.004, rng.NormFloat64()*0.004)
+		}
+	}
+	events, det, err := Detect(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Restarts()+det.BinSwitches() == 0 {
+		t.Fatal("no adaptive response to a five-bin posture jump")
+	}
+	// Detection must work after the jump (allow the re-acquisition
+	// window to eat the first post-jump blink).
+	late := 0
+	for _, b := range blinkFrames[3:] {
+		want := float64(b) / fps
+		for _, e := range events {
+			if math.Abs(e.Time-want) < 0.5 {
+				late++
+				break
+			}
+		}
+	}
+	if late < 3 {
+		t.Fatalf("only %d of 4 post-jump blinks detected (restarts=%d switches=%d)",
+			late, det.Restarts(), det.BinSwitches())
+	}
+	if got := det.Bin(); got < 21 || got > 25 {
+		t.Fatalf("tracker ended on bin %d, want near the new face bin 23", got)
+	}
+}
+
+// TestDetectorCurrentSample verifies the vital-sign tap.
+func TestDetectorCurrentSample(t *testing.T) {
+	det, err := NewDetector(DefaultConfig(), 40, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := det.CurrentSample(); ok {
+		t.Fatal("sample available before bin selection")
+	}
+	m, _ := syntheticCapture(t, 200, nil, 8)
+	for _, frame := range m.Data {
+		if _, _, err := det.Feed(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, bin, ok := det.CurrentSample(); !ok || bin != det.Bin() {
+		t.Fatalf("current sample (bin %d, ok %v) inconsistent with Bin() %d", bin, ok, det.Bin())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowFeatures summarises blink behaviour over one analysis window
+// (paper: one minute) for drowsiness classification.
+type WindowFeatures struct {
+	// BlinkRate is the blink count normalised to blinks per minute.
+	BlinkRate float64
+	// MeanBlinkDuration is the mean detected blink duration in
+	// seconds (0 when no blinks were detected).
+	MeanBlinkDuration float64
+}
+
+// RateDurationGate is the default duration filter for rate counting.
+// Two effects stack: single-crossing interference has no reopening edge
+// and lands at the duration floor, and drowsy blinks are much longer
+// than vigilant ones (>400 ms versus ~200 ms, Section II-A) — so the
+// long-blink rate is both a cleaner and a more discriminative
+// drowsiness marker than the raw detection rate.
+const RateDurationGate = 0.35
+
+// ExtractWindows slices a capture's detected blinks into consecutive
+// windows of windowSec seconds and computes features for each, applying
+// the default duration gate. The final partial window is dropped,
+// matching the paper's whole-window evaluation.
+func ExtractWindows(events []BlinkEvent, captureSec, windowSec float64) ([]WindowFeatures, error) {
+	return ExtractWindowsFiltered(events, captureSec, windowSec, RateDurationGate)
+}
+
+// ExtractWindowsFiltered is ExtractWindows with an explicit duration
+// gate; pass 0 to count every detection.
+func ExtractWindowsFiltered(events []BlinkEvent, captureSec, windowSec, minDuration float64) ([]WindowFeatures, error) {
+	if windowSec <= 0 {
+		return nil, fmt.Errorf("core: window must be positive, got %g", windowSec)
+	}
+	n := int(captureSec / windowSec)
+	out := make([]WindowFeatures, 0, n)
+	for w := 0; w < n; w++ {
+		from := float64(w) * windowSec
+		to := from + windowSec
+		var count int
+		var durSum float64
+		for _, e := range events {
+			if e.Time >= from && e.Time < to && e.Duration >= minDuration {
+				count++
+				durSum += e.Duration
+			}
+		}
+		f := WindowFeatures{BlinkRate: float64(count) / windowSec * 60}
+		if count > 0 {
+			f.MeanBlinkDuration = durSum / float64(count)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// classStats holds per-class Gaussian parameters for the two features.
+type classStats struct {
+	rateMean, rateStd float64
+	durMean, durStd   float64
+	n                 int
+}
+
+// DrowsinessModel is the paper's simple per-driver drowsiness detector:
+// it is calibrated from labelled awake and drowsy windows collected
+// during enrolment (Section V, "Ground truth": two training sets per
+// participant) and classifies each subsequent window from its blink
+// rate and mean blink duration using two-feature Gaussian likelihoods.
+type DrowsinessModel struct {
+	awake, drowsy classStats
+	trained       bool
+}
+
+// Train fits the model from labelled windows. Both classes need at
+// least two windows.
+func (m *DrowsinessModel) Train(awake, drowsy []WindowFeatures) error {
+	if len(awake) < 2 || len(drowsy) < 2 {
+		return fmt.Errorf("core: need at least 2 windows per class, got %d awake, %d drowsy", len(awake), len(drowsy))
+	}
+	m.awake = fitClass(awake)
+	m.drowsy = fitClass(drowsy)
+	// Pool the spreads (LDA-style): with only a handful of calibration
+	// windows per class, per-class variances are too noisy to trust
+	// and can produce degenerate boundaries.
+	rate := math.Sqrt((m.awake.rateStd*m.awake.rateStd + m.drowsy.rateStd*m.drowsy.rateStd) / 2)
+	dur := math.Sqrt((m.awake.durStd*m.awake.durStd + m.drowsy.durStd*m.drowsy.durStd) / 2)
+	m.awake.rateStd, m.drowsy.rateStd = rate, rate
+	m.awake.durStd, m.drowsy.durStd = dur, dur
+	m.trained = true
+	return nil
+}
+
+func fitClass(ws []WindowFeatures) classStats {
+	var s classStats
+	s.n = len(ws)
+	for _, w := range ws {
+		s.rateMean += w.BlinkRate
+		s.durMean += w.MeanBlinkDuration
+	}
+	fn := float64(s.n)
+	s.rateMean /= fn
+	s.durMean /= fn
+	for _, w := range ws {
+		dr := w.BlinkRate - s.rateMean
+		dd := w.MeanBlinkDuration - s.durMean
+		s.rateStd += dr * dr
+		s.durStd += dd * dd
+	}
+	s.rateStd = math.Sqrt(s.rateStd / fn)
+	s.durStd = math.Sqrt(s.durStd / fn)
+	// Floor the spreads: tiny training sets can collapse a class, and
+	// the rate feature carries capture-to-capture false-positive
+	// variance beyond its within-capture spread.
+	if s.rateStd < 2.5 {
+		s.rateStd = 2.5
+	}
+	if s.durStd < 0.08 {
+		s.durStd = 0.08
+	}
+	return s
+}
+
+// Trained reports whether the model has been calibrated.
+func (m *DrowsinessModel) Trained() bool { return m.trained }
+
+// Classify returns true when the window is more likely drowsy than
+// awake under the fitted Gaussians, along with the drowsy posterior
+// (equal priors).
+func (m *DrowsinessModel) Classify(w WindowFeatures) (drowsy bool, posterior float64, err error) {
+	if !m.trained {
+		return false, 0, fmt.Errorf("core: drowsiness model not trained")
+	}
+	la := m.awake.logLikelihood(w)
+	ld := m.drowsy.logLikelihood(w)
+	// Softmax over the two log-likelihoods.
+	mx := math.Max(la, ld)
+	pa := math.Exp(la - mx)
+	pd := math.Exp(ld - mx)
+	posterior = pd / (pa + pd)
+	return ld > la, posterior, nil
+}
+
+// durationWeight discounts the duration feature: LEVD's per-event
+// duration estimate is far noisier than the blink count, so it
+// contributes but cannot overrule the rate.
+const durationWeight = 1.0
+
+// logLikelihood sums the per-feature Gaussian log-densities. The
+// duration feature is ignored for windows with no detected blinks
+// (MeanBlinkDuration == 0), where it carries no information.
+func (s classStats) logLikelihood(w WindowFeatures) float64 {
+	ll := gaussLogPDF(w.BlinkRate, s.rateMean, s.rateStd)
+	if w.MeanBlinkDuration > 0 {
+		ll += durationWeight * gaussLogPDF(w.MeanBlinkDuration, s.durMean, s.durStd)
+	}
+	return ll
+}
+
+func gaussLogPDF(x, mean, std float64) float64 {
+	d := (x - mean) / std
+	return -0.5*d*d - math.Log(std)
+}
+
+// Thresholds returns the fitted class means, exposed for reporting.
+func (m *DrowsinessModel) Thresholds() (awakeRate, drowsyRate, awakeDur, drowsyDur float64) {
+	return m.awake.rateMean, m.drowsy.rateMean, m.awake.durMean, m.drowsy.durMean
+}

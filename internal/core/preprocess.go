@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"blinkradar/internal/dsp"
+	"blinkradar/internal/rf"
+)
+
+// Preprocessor implements the paper's signal-preprocessing module
+// (Section IV-B): noise reduction by a cascading filter and background
+// subtraction by a loopback filter. It operates frame by frame so the
+// same code serves the offline and real-time paths.
+type Preprocessor struct {
+	cfg        Config
+	background *BackgroundSubtractor
+	fir        *dsp.FIRFilter
+	scratch    []complex128
+}
+
+// NewPreprocessor builds a preprocessor for profiles with the given
+// number of range bins at the given frame rate.
+func NewPreprocessor(cfg Config, numBins int, frameRate float64) (*Preprocessor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numBins <= 0 || frameRate <= 0 {
+		return nil, fmt.Errorf("core: bins and frame rate must be positive, got %d, %g", numBins, frameRate)
+	}
+	bg, err := NewBackgroundSubtractor(numBins, frameRate, cfg.BackgroundTauSec)
+	if err != nil {
+		return nil, err
+	}
+	// The noise-reduction cascade: a Hamming-window low-pass FIR
+	// (paper: order 26) followed by a smoothing filter, both along the
+	// fast-time (range) axis of each frame. The FIR is only applied
+	// when the profile is long enough for the design to make sense.
+	var fir *dsp.FIRFilter
+	if cfg.EnableFastTimeFIR && numBins > 2*cfg.FIROrder {
+		fir, err = dsp.LowPassFIR(cfg.FIROrder, cfg.FIRCutoff, dsp.Hamming)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Preprocessor{
+		cfg:        cfg,
+		background: bg,
+		fir:        fir,
+		scratch:    make([]complex128, numBins),
+	}, nil
+}
+
+// Process denoises and background-subtracts one frame in place.
+func (p *Preprocessor) Process(frame []complex128) error {
+	if len(frame) != len(p.scratch) {
+		return fmt.Errorf("core: frame has %d bins, preprocessor configured for %d", len(frame), len(p.scratch))
+	}
+	if p.fir != nil {
+		copy(frame, p.fir.ApplyComplex(frame))
+	}
+	smoothFastTime(frame, p.scratch, p.cfg.FastTimeSmoothBins)
+	p.background.Apply(frame)
+	return nil
+}
+
+// Reset clears the background estimate (used after a full restart).
+func (p *Preprocessor) Reset() { p.background.Reset() }
+
+// smoothFastTime applies a centred moving average of the given width
+// across range bins, writing through scratch. Width 1 is a no-op.
+func smoothFastTime(frame, scratch []complex128, width int) {
+	if width <= 1 {
+		return
+	}
+	half := width / 2
+	n := len(frame)
+	copy(scratch, frame)
+	for i := 0; i < n; i++ {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var acc complex128
+		for j := lo; j <= hi; j++ {
+			acc += scratch[j]
+		}
+		frame[i] = acc / complex(float64(hi-lo+1), 0)
+	}
+}
+
+// BackgroundSubtractor removes static clutter with a per-bin loopback
+// filter (Section IV-B2): each bin's complex mean over a priming window
+// is estimated once and subtracted from every subsequent frame.
+// Static reflections — seats, steering wheel, direct path — have a
+// time-invariant delay, so a frozen estimate removes them exactly;
+// motion-modulated components pass untouched. The estimate is
+// deliberately NOT tracked afterwards: a slowly-adapting filter chases
+// the motion trajectory itself and smears the arc geometry the tracker
+// depends on. Posture drift is the tracker's and restart logic's job.
+type BackgroundSubtractor struct {
+	primeFrames int
+	seen        int
+	mean        []complex128
+}
+
+// NewBackgroundSubtractor creates a subtractor for numBins bins priming
+// over tauSec seconds of frames.
+func NewBackgroundSubtractor(numBins int, frameRate, tauSec float64) (*BackgroundSubtractor, error) {
+	if numBins <= 0 {
+		return nil, fmt.Errorf("core: numBins must be positive, got %d", numBins)
+	}
+	if frameRate <= 0 || tauSec <= 0 {
+		return nil, fmt.Errorf("core: frame rate and tau must be positive, got %g, %g", frameRate, tauSec)
+	}
+	prime := int(tauSec * frameRate)
+	if prime < 1 {
+		prime = 1
+	}
+	return &BackgroundSubtractor{
+		primeFrames: prime,
+		mean:        make([]complex128, numBins),
+	}, nil
+}
+
+// Apply subtracts the background estimate from the frame in place.
+// During the priming window the frame is accumulated into the estimate
+// and the output is zeroed (the detector's cold start covers this
+// period anyway).
+func (b *BackgroundSubtractor) Apply(frame []complex128) {
+	if b.seen < b.primeFrames {
+		b.seen++
+		inv := complex(1/float64(b.primeFrames), 0)
+		for i, v := range frame {
+			b.mean[i] += v * inv
+			frame[i] = 0
+		}
+		return
+	}
+	for i, v := range frame {
+		frame[i] = v - b.mean[i]
+	}
+}
+
+// Background returns a copy of the current clutter estimate.
+func (b *BackgroundSubtractor) Background() []complex128 {
+	out := make([]complex128, len(b.mean))
+	copy(out, b.mean)
+	return out
+}
+
+// Reset clears the clutter estimate so the next frames re-prime it.
+func (b *BackgroundSubtractor) Reset() {
+	for i := range b.mean {
+		b.mean[i] = 0
+	}
+	b.seen = 0
+}
+
+// PreprocessMatrix applies the full preprocessing chain to a copy of
+// the matrix and returns it, leaving the input untouched. This is the
+// offline convenience used by experiments and figures.
+func PreprocessMatrix(cfg Config, m *rf.FrameMatrix) (*rf.FrameMatrix, error) {
+	p, err := NewPreprocessor(cfg, m.NumBins(), m.FrameRate)
+	if err != nil {
+		return nil, err
+	}
+	out := m.Clone()
+	for _, frame := range out.Data {
+		if err := p.Process(frame); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CascadeFilter applies the paper's Fig. 7 noise-reduction cascade — an
+// order-`order` Hamming-window low-pass FIR followed by a `smooth`-point
+// moving average — to a real-valued waveform. The paper applies it to
+// the received baseband fast-time signal; experiments use it to
+// regenerate the before/after SNR comparison.
+func CascadeFilter(x []float64, order int, cutoff float64, smooth int) ([]float64, error) {
+	fir, err := dsp.LowPassFIR(order, cutoff, dsp.Hamming)
+	if err != nil {
+		return nil, err
+	}
+	return dsp.MovingAverage(fir.Apply(x), smooth)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"blinkradar/internal/dsp"
+	"blinkradar/internal/rf"
+)
+
+func TestBackgroundSubtractorRemovesStatic(t *testing.T) {
+	bg, err := NewBackgroundSubtractor(3, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := []complex128{1 + 2i, -3i, 0.5}
+	frame := make([]complex128, 3)
+	// Prime (25 frames at 25 fps) then verify exact cancellation.
+	for i := 0; i < 30; i++ {
+		copy(frame, static)
+		bg.Apply(frame)
+	}
+	for b, v := range frame {
+		if cmplx.Abs(v) > 1e-12 {
+			t.Fatalf("bin %d residual %v after static scene", b, v)
+		}
+	}
+	// Background accessor matches the scene.
+	for b, v := range bg.Background() {
+		if cmplx.Abs(v-static[b]) > 1e-9 {
+			t.Fatalf("background[%d] = %v, want %v", b, v, static[b])
+		}
+	}
+	// A dynamic component passes through untouched.
+	copy(frame, static)
+	frame[1] += 0.25i
+	bg.Apply(frame)
+	if cmplx.Abs(frame[1]-0.25i) > 1e-9 {
+		t.Fatalf("dynamic component distorted: %v", frame[1])
+	}
+}
+
+func TestBackgroundSubtractorPrimingOutputsZero(t *testing.T) {
+	bg, err := NewBackgroundSubtractor(1, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []complex128{5}
+	bg.Apply(frame)
+	if frame[0] != 0 {
+		t.Fatal("priming frames must be zeroed")
+	}
+}
+
+func TestBackgroundSubtractorReset(t *testing.T) {
+	bg, _ := NewBackgroundSubtractor(1, 25, 0.2)
+	for i := 0; i < 10; i++ {
+		f := []complex128{1}
+		bg.Apply(f)
+	}
+	bg.Reset()
+	f := []complex128{1}
+	bg.Apply(f)
+	if f[0] != 0 {
+		t.Fatal("reset subtractor must re-prime")
+	}
+}
+
+func TestBackgroundSubtractorErrors(t *testing.T) {
+	if _, err := NewBackgroundSubtractor(0, 25, 1); err == nil {
+		t.Fatal("zero bins must be rejected")
+	}
+	if _, err := NewBackgroundSubtractor(3, 0, 1); err == nil {
+		t.Fatal("zero rate must be rejected")
+	}
+	if _, err := NewBackgroundSubtractor(3, 25, 0); err == nil {
+		t.Fatal("zero tau must be rejected")
+	}
+}
+
+func TestPreprocessorFrameSizeCheck(t *testing.T) {
+	p, err := NewPreprocessor(DefaultConfig(), 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(make([]complex128, 9)); err == nil {
+		t.Fatal("mismatched frame size must be rejected")
+	}
+}
+
+func TestSmoothFastTime(t *testing.T) {
+	frame := []complex128{0, 3, 0}
+	scratch := make([]complex128, 3)
+	smoothFastTime(frame, scratch, 3)
+	if !cmplxApprox(frame[1], 1, 1e-12) {
+		t.Fatalf("centre %v, want 1", frame[1])
+	}
+	if !cmplxApprox(frame[0], 1.5, 1e-12) {
+		t.Fatalf("edge %v, want 1.5 (shrunk window)", frame[0])
+	}
+	// Width 1 is a no-op.
+	orig := []complex128{1, 2, 3}
+	cp := append([]complex128(nil), orig...)
+	smoothFastTime(cp, scratch, 1)
+	for i := range orig {
+		if cp[i] != orig[i] {
+			t.Fatal("width-1 smoothing must not modify the frame")
+		}
+	}
+}
+
+func cmplxApprox(a complex128, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestPreprocessMatrixLeavesInputIntact(t *testing.T) {
+	m, _ := rf.NewFrameMatrix(60, 20, 25, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	for k := range m.Data {
+		for b := range m.Data[k] {
+			m.Data[k][b] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	before := m.Data[10][5]
+	out, err := PreprocessMatrix(DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data[10][5] != before {
+		t.Fatal("PreprocessMatrix modified its input")
+	}
+	if out == m {
+		t.Fatal("PreprocessMatrix must return a copy")
+	}
+}
+
+func TestCascadeFilterImprovesSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1024
+	clean := make([]float64, n)
+	for i := range clean {
+		d := (float64(i) - 400) / 60
+		clean[i] = math.Exp(-0.5 * d * d)
+	}
+	noisy := make([]float64, n)
+	for i := range noisy {
+		noisy[i] = clean[i] + rng.NormFloat64()*0.1
+	}
+	filtered, err := CascadeFilter(noisy, 26, 0.04, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dsp.SNRdB(clean, noisy)
+	after := dsp.SNRdB(clean, filtered)
+	if after < before+6 {
+		t.Fatalf("cascade gain %.1f dB (from %.1f to %.1f), want > 6 dB", after-before, before, after)
+	}
+}
+
+func TestCascadeFilterErrors(t *testing.T) {
+	if _, err := CascadeFilter([]float64{1, 2}, 0, 0.1, 5); err == nil {
+		t.Fatal("bad FIR order must be rejected")
+	}
+	if _, err := CascadeFilter([]float64{1, 2}, 8, 0.1, 0); err == nil {
+		t.Fatal("bad smoothing window must be rejected")
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"blinkradar/internal/iq"
+)
+
+// Tracker maintains the "viewing position" of Section IV-E: the centre
+// of the Pratt-fitted circle through the selected bin's recent I/Q
+// samples. Each new sample is reduced to its distance from that centre,
+// which cancels the phase rotation caused by respiration, BCG head
+// motion and vehicle vibration (all of which move samples along the
+// arc) while exposing the amplitude signature of a blink (which moves
+// samples radially).
+//
+// Short arcs constrain the circle centre poorly in the radial
+// direction, so each refit's centre is blended into the running
+// estimate rather than adopted outright; this keeps the distance
+// waveform free of refit steps that would masquerade as blinks.
+type Tracker struct {
+	window    []complex128
+	pos       int
+	count     int
+	minFit    int
+	refitEach int
+	blend     float64
+	sinceFit  int
+	center    complex128
+	radius    float64
+	haveFit   bool
+	fitCount  int
+	rejects   int
+}
+
+// NewTracker creates a tracker fitting over up to windowFrames samples,
+// starting once minFit samples have arrived and refitting every
+// refitInterval pushes with the given centre blend factor in (0, 1].
+func NewTracker(windowFrames, refitInterval, minFit int, blend float64) (*Tracker, error) {
+	if windowFrames < 5 {
+		return nil, fmt.Errorf("core: tracker window must be at least 5, got %d", windowFrames)
+	}
+	if refitInterval <= 0 {
+		return nil, fmt.Errorf("core: refit interval must be positive, got %d", refitInterval)
+	}
+	if minFit < 5 {
+		minFit = 5
+	}
+	if minFit > windowFrames {
+		minFit = windowFrames
+	}
+	if blend <= 0 || blend > 1 {
+		return nil, fmt.Errorf("core: blend must be in (0, 1], got %g", blend)
+	}
+	return &Tracker{
+		window:    make([]complex128, windowFrames),
+		minFit:    minFit,
+		refitEach: refitInterval,
+		blend:     blend,
+	}, nil
+}
+
+// Push adds one I/Q sample. Once enough samples have accumulated to
+// fit, it returns the sample's distance from the viewing position and
+// true; before the first fit it returns (0, false).
+func (t *Tracker) Push(z complex128) (float64, bool) {
+	t.window[t.pos] = z
+	t.pos = (t.pos + 1) % len(t.window)
+	if t.count < len(t.window) {
+		t.count++
+	}
+	t.sinceFit++
+	if !t.haveFit {
+		if t.count >= t.minFit {
+			t.refit()
+		}
+	} else if t.sinceFit >= t.refitEach {
+		// Keep refitting even after convergence: the fitted circle's
+		// apparent centre shifts systematically as the arc segment
+		// drifts with posture (the radius varies slightly along the
+		// arc), so the viewing position must track the local geometry.
+		// Heavy blending keeps each update small.
+		t.refit()
+	}
+	if !t.haveFit {
+		return 0, false
+	}
+	d := z - t.center
+	return hypot(real(d), imag(d)), true
+}
+
+// refit re-estimates the viewing position from the current window and
+// blends it into the running estimate. The fit is trimmed: samples far
+// off the first-pass circle (mostly blink transients, ~15% of frames)
+// are discarded and the circle refitted, so blinks do not drag the
+// centre. A degenerate fit keeps the previous centre (the paper notes
+// accuracy is poor with too few samples, so a stale-but-valid centre
+// beats a bad one).
+func (t *Tracker) refit() {
+	samples := t.samples()
+	c, err := iq.FitCirclePratt(samples)
+	t.sinceFit = 0
+	if err != nil {
+		return
+	}
+	if c.RMSE > 0 {
+		kept := samples[:0]
+		for _, z := range samples {
+			d := z - c.Center
+			if r := hypot(real(d), imag(d)); r > c.Radius-3*c.RMSE && r < c.Radius+3*c.RMSE {
+				kept = append(kept, z)
+			}
+		}
+		if len(kept) >= len(samples)/2 {
+			if c2, err2 := iq.FitCirclePratt(kept); err2 == nil {
+				c = c2
+			}
+		}
+	}
+	// Sanity gates: a short, noisy arc can yield a degenerate circle
+	// whose centre sits inside the sample cloud (radius comparable to
+	// the cloud spread), or a radius wildly different from the running
+	// estimate. Such fits would scramble the distance waveform; skip
+	// them, but give up after several consecutive rejections so a
+	// genuinely changed geometry can still re-converge.
+	// Gates only apply once the window is full: warm-up fits on short
+	// arcs legitimately fluctuate, and burning the rejection budget on
+	// them would let genuinely bad fits straight through later.
+	if t.haveFit && t.count == len(t.window) {
+		// Degenerate: the circle explains little of the cloud's
+		// structure (radial residuals comparable to the raw spread).
+		cloudStd := sqrtFast(iq.Variance2D(samples))
+		degenerate := c.RMSE > 0.5*cloudStd
+		// Jump: the radius leapt away from the running estimate, the
+		// signature of a window polluted by a large transient.
+		jump := c.Radius > 1.8*t.radius || c.Radius < t.radius/1.8
+		if (degenerate || jump) && t.rejects < 5 {
+			t.rejects++
+			return
+		}
+	}
+	t.rejects = 0
+	if !t.haveFit {
+		t.center = c.Center
+		t.radius = c.Radius
+		t.haveFit = true
+	} else {
+		// Early fits see short, ill-conditioned arcs, so converge
+		// quickly at first (blend ~ 1/fitCount) and settle to the
+		// configured damping once the window has matured.
+		blend := 1 / float64(t.fitCount+1)
+		if blend < t.blend {
+			blend = t.blend
+		}
+		t.center += complex(blend, 0) * (c.Center - t.center)
+		t.radius += blend * (c.Radius - t.radius)
+	}
+	t.fitCount++
+}
+
+// samples returns the window contents, oldest first.
+func (t *Tracker) samples() []complex128 {
+	out := make([]complex128, 0, t.count)
+	start := t.pos - t.count
+	for i := 0; i < t.count; i++ {
+		idx := start + i
+		if idx < 0 {
+			idx += len(t.window)
+		}
+		out = append(out, t.window[idx%len(t.window)])
+	}
+	return out
+}
+
+// Seed pre-fills the window with historical samples (e.g. the selection
+// ring) so tracking can begin without re-accumulating a full window.
+func (t *Tracker) Seed(history []complex128) {
+	for _, z := range history {
+		t.window[t.pos] = z
+		t.pos = (t.pos + 1) % len(t.window)
+		if t.count < len(t.window) {
+			t.count++
+		}
+	}
+	if t.count >= t.minFit {
+		t.refit()
+	}
+}
+
+// matureAt is the sample count at which the viewing position is
+// considered converged (the window itself may be much longer).
+const matureAt = 250
+
+// Mature reports whether enough samples have accumulated for the
+// viewing position to be past its start-up transient.
+func (t *Tracker) Mature() bool {
+	n := matureAt
+	if n > len(t.window) {
+		n = len(t.window)
+	}
+	return t.count >= n
+}
+
+// Center returns the current viewing position and whether a fit exists.
+func (t *Tracker) Center() (complex128, bool) { return t.center, t.haveFit }
+
+// Radius returns the current fitted radius (0 before the first fit).
+func (t *Tracker) Radius() float64 { return t.radius }
+
+// FitCount returns how many successful fits have been performed.
+func (t *Tracker) FitCount() int { return t.fitCount }
+
+// Reset clears all state for a full restart.
+func (t *Tracker) Reset() {
+	t.rejects = 0
+	t.pos = 0
+	t.count = 0
+	t.sinceFit = 0
+	t.center = 0
+	t.radius = 0
+	t.haveFit = false
+}
+
+func hypot(a, b float64) float64 {
+	// math.Hypot handles overflow gracefully but is slower; the
+	// magnitudes here are O(1), so the direct form is safe.
+	return sqrtFast(a*a + b*b)
+}

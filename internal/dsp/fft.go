@@ -1,0 +1,263 @@
+// Package dsp provides the digital-signal-processing substrate used by
+// BlinkRadar: FFTs, FIR filter design, window functions, smoothing,
+// detrending, descriptive statistics, peak finding and spectrogram
+// computation. Everything is implemented from scratch on top of the
+// standard library so the module has no external dependencies.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x and returns a newly
+// allocated slice. Power-of-two lengths use an iterative radix-2
+// Cooley-Tukey transform; all other lengths fall back to Bluestein's
+// algorithm, so any length is accepted. An empty input yields an empty
+// output.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, normalised
+// by 1/N, and returns a newly allocated slice.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	return out
+}
+
+// FFTReal transforms a real-valued signal. It is a convenience wrapper
+// that widens the input to complex and calls FFT.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	fftInPlace(c, false)
+	return c
+}
+
+// fftInPlace dispatches on the length of x. Inverse transforms are
+// normalised by 1/N.
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		scale := 1 / float64(n)
+		for i := range x {
+			x[i] *= complex(scale, 0)
+		}
+	}
+}
+
+// radix2 runs an iterative in-place radix-2 Cooley-Tukey FFT.
+// len(x) must be a power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein implements the chirp-z transform reduction of an arbitrary
+// length DFT to a power-of-two circular convolution.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors: w[k] = exp(sign * i*pi*k^2/n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n; use modular arithmetic on 2n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := 1 / float64(m)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * complex(invM, 0) * chirp[k]
+	}
+}
+
+// FFTFreq returns the frequency in hertz associated with each FFT bin for
+// a transform of length n over samples taken at sampleRate. Bins in the
+// upper half are reported as negative frequencies, matching the layout of
+// the FFT output.
+func FFTFreq(n int, sampleRate float64) []float64 {
+	f := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k := i
+		if i > n/2 {
+			k = i - n
+		}
+		f[i] = float64(k) * sampleRate / float64(n)
+	}
+	return f
+}
+
+// PowerSpectrum returns |X[k]|^2 for each bin of the FFT of x.
+func PowerSpectrum(x []float64) []float64 {
+	spec := FFTReal(x)
+	p := make([]float64, len(spec))
+	for i, c := range spec {
+		re, im := real(c), imag(c)
+		p[i] = re*re + im*im
+	}
+	return p
+}
+
+// MagnitudeSpectrum returns |X[k]| for each bin of the FFT of x.
+func MagnitudeSpectrum(x []float64) []float64 {
+	spec := FFTReal(x)
+	m := make([]float64, len(spec))
+	for i, c := range spec {
+		m[i] = cmplx.Abs(c)
+	}
+	return m
+}
+
+// NextPow2 returns the smallest power of two >= n. It returns 1 for
+// n <= 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// Convolve computes the full linear convolution of a and b
+// (length len(a)+len(b)-1) directly. For long inputs prefer
+// FFTConvolve.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// FFTConvolve computes the same full linear convolution as Convolve but
+// via the FFT, which is asymptotically faster for long inputs.
+func FFTConvolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	n := len(a) + len(b) - 1
+	m := NextPow2(n)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	radix2(fa, false)
+	radix2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	radix2(fa, true)
+	out := make([]float64, n)
+	scale := 1 / float64(m)
+	for i := 0; i < n; i++ {
+		out[i] = real(fa[i]) * scale
+	}
+	return out
+}
+
+// Goertzel evaluates the DFT of x at a single normalised frequency
+// k/n (k need not be an integer) using the Goertzel recurrence. It is
+// cheaper than a full FFT when only a handful of bins are needed.
+func Goertzel(x []float64, k float64) complex128 {
+	n := float64(len(x))
+	if len(x) == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * k / n
+	cw := math.Cos(w)
+	coeff := 2 * cw
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	re := s1*cw - s2
+	im := s1 * math.Sin(w)
+	return complex(re, im)
+}
+
+// validateLength returns an error for non-positive lengths; shared by the
+// design helpers in this package.
+func validateLength(name string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("dsp: %s must be positive, got %d", name, n)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const floatTol = 1e-9
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func complexApproxEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// The transform of a unit impulse is flat ones.
+	for _, n := range []int{1, 2, 8, 12, 100} {
+		x := make([]complex128, n)
+		x[0] = 1
+		got := FFT(x)
+		for i, v := range got {
+			if !complexApproxEqual(v, 1, 1e-9) {
+				t.Fatalf("n=%d bin %d = %v, want 1", n, i, v)
+			}
+		}
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	// A pure sinusoid concentrates its energy in the matching bin.
+	const n = 256
+	const k = 17
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(k) * float64(i) / n)
+	}
+	mag := MagnitudeSpectrum(x)
+	best := ArgMax(mag[:n/2])
+	if best != k {
+		t.Fatalf("spectral peak at bin %d, want %d", best, k)
+	}
+	if mag[k] < float64(n)/2*0.99 {
+		t.Fatalf("peak magnitude %g, want ~%g", mag[k], float64(n)/2)
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	// Round trip for power-of-two (radix-2) and arbitrary (Bluestein)
+	// lengths.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 16, 64, 3, 7, 12, 100, 129} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		back := IFFT(FFT(x))
+		for i := range x {
+			if !complexApproxEqual(back[i], x[i], 1e-8) {
+				t.Fatalf("n=%d sample %d: got %v want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// FFT(a*x + y) = a*FFT(x) + FFT(y), for random signals.
+	f := func(seed int64, scaleRaw int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		a := complex(float64(scaleRaw)/16, 0)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mixed := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mixed[i] = a*x[i] + y[i]
+		}
+		fm := FFT(mixed)
+		fx := FFT(x)
+		fy := FFT(y)
+		for i := range fm {
+			if !complexApproxEqual(fm[i], a*fx[i]+fy[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Sum |x|^2 == Sum |X|^2 / N.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 48 // exercises Bluestein
+		x := make([]complex128, n)
+		var timePower float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timePower += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		var freqPower float64
+		for _, v := range FFT(x) {
+			freqPower += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return approxEqual(timePower, freqPower/float64(n), 1e-6*(1+timePower))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTFreq(t *testing.T) {
+	f := FFTFreq(8, 80)
+	want := []float64{0, 10, 20, 30, 40, -30, -20, -10}
+	for i := range want {
+		if !approxEqual(f[i], want[i], floatTol) {
+			t.Fatalf("bin %d: got %g want %g", i, f[i], want[i])
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestConvolveMatchesFFTConvolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 1+rng.Intn(40))
+		b := make([]float64, 1+rng.Intn(40))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		direct := Convolve(a, b)
+		fast := FFTConvolve(a, b)
+		if len(direct) != len(fast) {
+			return false
+		}
+		for i := range direct {
+			if !approxEqual(direct[i], fast[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got := Convolve([]float64{1, 2}, []float64{3, 4, 5})
+	want := []float64{3, 10, 13, 10}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !approxEqual(got[i], want[i], floatTol) {
+			t.Fatalf("index %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("Convolve(nil, x) should be nil")
+	}
+	if FFTConvolve([]float64{1}, nil) != nil {
+		t.Error("FFTConvolve(x, nil) should be nil")
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	spec := FFTReal(x)
+	for _, k := range []int{0, 1, 5, 31} {
+		g := Goertzel(x, float64(k))
+		if !complexApproxEqual(g, spec[k], 1e-8) {
+			t.Fatalf("bin %d: Goertzel %v, FFT %v", k, g, spec[k])
+		}
+	}
+}
+
+func TestGoertzelEmpty(t *testing.T) {
+	if Goertzel(nil, 1) != 0 {
+		t.Error("Goertzel of empty input should be 0")
+	}
+}
+
+func TestPowerSpectrumNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i, p := range PowerSpectrum(x) {
+		if p < 0 {
+			t.Fatalf("bin %d power %g < 0", i, p)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Errorf("FFT(nil) returned %d samples", len(got))
+	}
+	if got := IFFT([]complex128{}); len(got) != 0 {
+		t.Errorf("IFFT(empty) returned %d samples", len(got))
+	}
+}

@@ -1,0 +1,139 @@
+package dsp
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Spectrogram holds the short-time Fourier transform magnitude of a
+// signal: Power[t][f] is the squared magnitude of frequency bin f in
+// window t.
+type Spectrogram struct {
+	// Power is indexed [window][bin]; bins cover 0..WindowSize/2
+	// (non-negative frequencies only).
+	Power [][]float64
+	// WindowSize is the STFT window length in samples.
+	WindowSize int
+	// HopSize is the stride between consecutive windows in samples.
+	HopSize int
+	// SampleRate is the input sample rate in hertz.
+	SampleRate float64
+}
+
+// STFT computes a magnitude spectrogram of x using the given window
+// function (Hann when nil). windowSize must be a positive power of two
+// and hopSize positive.
+func STFT(x []float64, windowSize, hopSize int, sampleRate float64, window WindowFunc) (*Spectrogram, error) {
+	if windowSize <= 0 || windowSize&(windowSize-1) != 0 {
+		return nil, fmt.Errorf("dsp: STFT window size must be a positive power of two, got %d", windowSize)
+	}
+	if err := validateLength("hop size", hopSize); err != nil {
+		return nil, err
+	}
+	if window == nil {
+		window = Hann
+	}
+	w := window(windowSize)
+	nBins := windowSize/2 + 1
+	var frames [][]float64
+	buf := make([]complex128, windowSize)
+	for start := 0; start+windowSize <= len(x); start += hopSize {
+		for i := 0; i < windowSize; i++ {
+			buf[i] = complex(x[start+i]*w[i], 0)
+		}
+		radix2(buf, false)
+		row := make([]float64, nBins)
+		for i := 0; i < nBins; i++ {
+			m := cmplx.Abs(buf[i])
+			row[i] = m * m
+		}
+		frames = append(frames, row)
+	}
+	return &Spectrogram{
+		Power:      frames,
+		WindowSize: windowSize,
+		HopSize:    hopSize,
+		SampleRate: sampleRate,
+	}, nil
+}
+
+// BinFrequency returns the centre frequency in hertz of spectrogram bin
+// index i.
+func (s *Spectrogram) BinFrequency(i int) float64 {
+	return float64(i) * s.SampleRate / float64(s.WindowSize)
+}
+
+// WindowTime returns the start time in seconds of window index t.
+func (s *Spectrogram) WindowTime(t int) float64 {
+	return float64(t*s.HopSize) / s.SampleRate
+}
+
+// DominantFrequency returns the frequency with the highest total power
+// across all windows, excluding the DC bin.
+func (s *Spectrogram) DominantFrequency() float64 {
+	if len(s.Power) == 0 {
+		return 0
+	}
+	nBins := len(s.Power[0])
+	total := make([]float64, nBins)
+	for _, row := range s.Power {
+		for i, p := range row {
+			total[i] += p
+		}
+	}
+	best := 1
+	for i := 2; i < nBins; i++ {
+		if total[i] > total[best] {
+			best = i
+		}
+	}
+	return s.BinFrequency(best)
+}
+
+// Resample linearly interpolates x (sampled at srcRate) onto a grid at
+// dstRate. Both rates must be positive. The output covers the same time
+// span as the input.
+func Resample(x []float64, srcRate, dstRate float64) ([]float64, error) {
+	if srcRate <= 0 || dstRate <= 0 {
+		return nil, fmt.Errorf("dsp: sample rates must be positive, got src=%g dst=%g", srcRate, dstRate)
+	}
+	if len(x) == 0 {
+		return nil, nil
+	}
+	dur := float64(len(x)-1) / srcRate
+	n := int(dur*dstRate) + 1
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / dstRate * srcRate
+		lo := int(t)
+		if lo >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := t - float64(lo)
+		out[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return out, nil
+}
+
+// Decimate keeps every factor-th sample of x after smoothing with a
+// moving average of the same width to limit aliasing.
+func Decimate(x []float64, factor int) ([]float64, error) {
+	if err := validateLength("decimation factor", factor); err != nil {
+		return nil, err
+	}
+	if factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	smoothed, err := MovingAverage(x, factor)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(x)/factor+1)
+	for i := 0; i < len(smoothed); i += factor {
+		out = append(out, smoothed[i])
+	}
+	return out, nil
+}

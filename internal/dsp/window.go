@@ -1,0 +1,93 @@
+package dsp
+
+import "math"
+
+// WindowFunc generates an n-point window. Implementations return a newly
+// allocated slice of length n; n <= 0 yields an empty slice.
+type WindowFunc func(n int) []float64
+
+// Rectangular returns an n-point all-ones (boxcar) window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, max(n, 0))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Hamming returns the n-point Hamming window
+// w[i] = 0.54 - 0.46*cos(2*pi*i/(n-1)), the window the paper uses for its
+// order-26 FIR noise-reduction filter.
+func Hamming(n int) []float64 {
+	return cosineWindow(n, 0.54, 0.46)
+}
+
+// Hann returns the n-point Hann (hanning) window.
+func Hann(n int) []float64 {
+	return cosineWindow(n, 0.5, 0.5)
+}
+
+// cosineWindow builds a generalised two-term cosine window a - b*cos(...).
+func cosineWindow(n int, a, b float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := 0; i < n; i++ {
+		w[i] = a - b*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Blackman returns the n-point Blackman window.
+func Blackman(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := 0; i < n; i++ {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+	}
+	return w
+}
+
+// Gaussian returns an n-point Gaussian window with standard deviation
+// sigma expressed as a fraction of half the window length (sigma <= 0.5
+// is typical).
+func Gaussian(sigma float64) WindowFunc {
+	return func(n int) []float64 {
+		if n <= 0 {
+			return nil
+		}
+		w := make([]float64, n)
+		if n == 1 {
+			w[0] = 1
+			return w
+		}
+		half := float64(n-1) / 2
+		for i := 0; i < n; i++ {
+			x := (float64(i) - half) / (sigma * half)
+			w[i] = math.Exp(-0.5 * x * x)
+		}
+		return w
+	}
+}
+
+// ApplyWindow multiplies x element-wise by the window w in place and
+// returns x. If the lengths differ, the shorter prefix is used.
+func ApplyWindow(x, w []float64) []float64 {
+	n := min(len(x), len(w))
+	for i := 0; i < n; i++ {
+		x[i] *= w[i]
+	}
+	return x
+}

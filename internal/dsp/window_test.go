@@ -1,0 +1,93 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowLengths(t *testing.T) {
+	for _, w := range []WindowFunc{Rectangular, Hamming, Hann, Blackman, Gaussian(0.4)} {
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			got := w(n)
+			if len(got) != max(n, 0) {
+				t.Fatalf("window length %d for n=%d", len(got), n)
+			}
+		}
+	}
+}
+
+func TestWindowSymmetryProperty(t *testing.T) {
+	// All supported windows are symmetric: w[i] == w[n-1-i].
+	windows := map[string]WindowFunc{
+		"hamming":  Hamming,
+		"hann":     Hann,
+		"blackman": Blackman,
+		"gaussian": Gaussian(0.4),
+	}
+	for name, w := range windows {
+		f := func(raw uint8) bool {
+			n := int(raw)%60 + 2
+			win := w(n)
+			for i := 0; i < n/2; i++ {
+				if !approxEqual(win[i], win[n-1-i], 1e-12) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s asymmetric: %v", name, err)
+		}
+	}
+}
+
+func TestHammingEndpoints(t *testing.T) {
+	w := Hamming(27)
+	if !approxEqual(w[0], 0.08, 1e-12) {
+		t.Errorf("Hamming start %g, want 0.08", w[0])
+	}
+	if !approxEqual(w[13], 1, 1e-12) {
+		t.Errorf("Hamming midpoint %g, want 1", w[13])
+	}
+}
+
+func TestHannEndpoints(t *testing.T) {
+	w := Hann(11)
+	if !approxEqual(w[0], 0, 1e-12) || !approxEqual(w[10], 0, 1e-12) {
+		t.Errorf("Hann endpoints %g, %g, want 0", w[0], w[10])
+	}
+}
+
+func TestSinglePointWindows(t *testing.T) {
+	for _, w := range []WindowFunc{Hamming, Hann, Blackman, Gaussian(0.3)} {
+		if got := w(1); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("single-point window = %v, want [1]", got)
+		}
+	}
+}
+
+func TestGaussianPeaksAtCentre(t *testing.T) {
+	w := Gaussian(0.3)(21)
+	if peak := ArgMax(w); peak != 10 {
+		t.Fatalf("Gaussian peak at %d, want 10", peak)
+	}
+	if w[0] >= w[10] {
+		t.Fatal("Gaussian edges should fall below the centre")
+	}
+	if math.Abs(w[10]-1) > 1e-12 {
+		t.Fatalf("Gaussian centre %g, want 1", w[10])
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	w := []float64{2, 0.5, 1}
+	got := ApplyWindow(x, w)
+	want := []float64{2, 1, 3, 4} // shorter window leaves the tail alone
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+}

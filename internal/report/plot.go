@@ -1,0 +1,226 @@
+// Package report renders experiment results as terminal figures:
+// line charts for parameter sweeps, empirical CDF curves, and labelled
+// waveform strips. cmd/experiments uses it so the regenerated "figures"
+// are actually figures, not just tables.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot is a fixed-size character canvas with axes.
+type Plot struct {
+	width, height int
+	cells         [][]rune
+	xMin, xMax    float64
+	yMin, yMax    float64
+	xLabel        string
+	yLabel        string
+	title         string
+}
+
+// NewPlot creates a canvas of the given interior size (excluding axis
+// decoration). Sizes are clamped to a sane minimum.
+func NewPlot(width, height int, title string) *Plot {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	cells := make([][]rune, height)
+	for i := range cells {
+		cells[i] = make([]rune, width)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &Plot{
+		width:  width,
+		height: height,
+		cells:  cells,
+		title:  title,
+	}
+}
+
+// SetRange fixes the data ranges mapped onto the canvas. Degenerate
+// ranges are widened slightly so single-valued data still renders.
+func (p *Plot) SetRange(xMin, xMax, yMin, yMax float64) {
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	p.xMin, p.xMax, p.yMin, p.yMax = xMin, xMax, yMin, yMax
+}
+
+// SetLabels sets the axis captions.
+func (p *Plot) SetLabels(x, y string) {
+	p.xLabel, p.yLabel = x, y
+}
+
+// cell maps a data point to canvas coordinates; ok is false outside the
+// range.
+func (p *Plot) cell(x, y float64) (col, row int, ok bool) {
+	if x < p.xMin || x > p.xMax || y < p.yMin || y > p.yMax {
+		return 0, 0, false
+	}
+	col = int((x - p.xMin) / (p.xMax - p.xMin) * float64(p.width-1))
+	row = p.height - 1 - int((y-p.yMin)/(p.yMax-p.yMin)*float64(p.height-1))
+	return col, row, true
+}
+
+// Point plots a marker at (x, y).
+func (p *Plot) Point(x, y float64, marker rune) {
+	if col, row, ok := p.cell(x, y); ok {
+		p.cells[row][col] = marker
+	}
+}
+
+// Line draws a polyline through the points with the given marker,
+// interpolating between consecutive samples.
+func (p *Plot) Line(xs, ys []float64, marker rune) {
+	n := min(len(xs), len(ys))
+	for i := 0; i < n; i++ {
+		p.Point(xs[i], ys[i], marker)
+		if i == 0 {
+			continue
+		}
+		// Dense interpolation keeps steep segments connected.
+		const steps = 64
+		for s := 1; s < steps; s++ {
+			f := float64(s) / steps
+			x := xs[i-1] + (xs[i]-xs[i-1])*f
+			y := ys[i-1] + (ys[i]-ys[i-1])*f
+			if col, row, ok := p.cell(x, y); ok && p.cells[row][col] == ' ' {
+				p.cells[row][col] = '.'
+			}
+		}
+	}
+}
+
+// String renders the canvas with a frame, range annotations and labels.
+func (p *Plot) String() string {
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	fmt.Fprintf(&b, "%10.3g +", p.yMax)
+	b.WriteString(strings.Repeat("-", p.width))
+	b.WriteString("+\n")
+	for _, row := range p.cells {
+		b.WriteString(strings.Repeat(" ", 11))
+		b.WriteByte('|')
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%10.3g +", p.yMin)
+	b.WriteString(strings.Repeat("-", p.width))
+	b.WriteString("+\n")
+	fmt.Fprintf(&b, "%11s %-.3g%s%.3g", "", p.xMin,
+		strings.Repeat(" ", max(1, p.width-12)), p.xMax)
+	if p.xLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", p.xLabel)
+	}
+	if p.yLabel != "" {
+		fmt.Fprintf(&b, "  [y: %s]", p.yLabel)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CDFChart renders an empirical CDF curve from sorted-or-not sample
+// values.
+func CDFChart(title string, values []float64, width, height int) string {
+	if len(values) == 0 {
+		return title + ": (no data)\n"
+	}
+	sorted := append([]float64(nil), values...)
+	insertionSort(sorted)
+	xs := make([]float64, len(sorted))
+	ys := make([]float64, len(sorted))
+	for i, v := range sorted {
+		xs[i] = v
+		ys[i] = float64(i+1) / float64(len(sorted))
+	}
+	p := NewPlot(width, height, title)
+	lo := sorted[0]
+	hi := sorted[len(sorted)-1]
+	span := hi - lo
+	if span == 0 {
+		span = math.Max(math.Abs(hi), 0.01)
+	}
+	p.SetRange(lo-0.02*span, hi+0.02*span, 0, 1)
+	p.SetLabels("value", "P(X<=x)")
+	p.Line(xs, ys, '#')
+	return p.String()
+}
+
+// SweepChart renders accuracy (0..1) against a numeric sweep axis.
+func SweepChart(title, xLabel string, xs, accuracies []float64, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(accuracies) {
+		return title + ": (no data)\n"
+	}
+	p := NewPlot(width, height, title)
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	p.SetRange(lo, hi, 0, 1)
+	p.SetLabels(xLabel, "accuracy")
+	p.Line(xs, accuracies, 'o')
+	return p.String()
+}
+
+// WaveformStrip renders a waveform with event markers, for Fig. 11-
+// style traces. Marks are sample indices highlighted on a marker row.
+func WaveformStrip(title string, w []float64, marks []int, width, height int) string {
+	if len(w) == 0 {
+		return title + ": (no data)\n"
+	}
+	p := NewPlot(width, height, title)
+	lo, hi := w[0], w[0]
+	for _, v := range w {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	p.SetRange(0, float64(len(w)-1), lo, hi)
+	p.SetLabels("frame", "distance")
+	// Downsample onto the canvas width.
+	for col := 0; col < width; col++ {
+		idx := col * (len(w) - 1) / max(width-1, 1)
+		p.Point(float64(idx), w[idx], '*')
+	}
+	out := p.String()
+	// Marker row underneath.
+	markerRow := make([]rune, width)
+	for i := range markerRow {
+		markerRow[i] = ' '
+	}
+	for _, m := range marks {
+		if m < 0 || m >= len(w) {
+			continue
+		}
+		col := m * (width - 1) / max(len(w)-1, 1)
+		markerRow[col] = '^'
+	}
+	return out + strings.Repeat(" ", 12) + string(markerRow) + " blinks\n"
+}
+
+// insertionSort avoids importing sort for a handful of values and keeps
+// the package allocation-free beyond its outputs.
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
+}

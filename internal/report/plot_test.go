@@ -1,0 +1,105 @@
+package report
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPlotClampsSize(t *testing.T) {
+	p := NewPlot(2, 1, "tiny")
+	out := p.String()
+	if !strings.Contains(out, "tiny") {
+		t.Fatal("title missing")
+	}
+	if len(strings.Split(out, "\n")) < 6 {
+		t.Fatal("clamped plot too small")
+	}
+}
+
+func TestPlotPointInsideRange(t *testing.T) {
+	p := NewPlot(20, 5, "")
+	p.SetRange(0, 10, 0, 1)
+	p.Point(5, 0.5, 'X')
+	if !strings.Contains(p.String(), "X") {
+		t.Fatal("in-range point not rendered")
+	}
+	p2 := NewPlot(20, 5, "")
+	p2.SetRange(0, 10, 0, 1)
+	p2.Point(50, 0.5, 'X') // outside
+	if strings.Contains(p2.String(), "X") {
+		t.Fatal("out-of-range point rendered")
+	}
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := NewPlot(20, 5, "")
+	p.SetRange(3, 3, 7, 7)
+	p.Point(3, 7, 'X')
+	if !strings.Contains(p.String(), "X") {
+		t.Fatal("degenerate range must be widened, not dropped")
+	}
+}
+
+func TestCDFChart(t *testing.T) {
+	out := CDFChart("accuracy CDF", []float64{0.7, 0.9, 0.95, 1.0}, 40, 8)
+	if !strings.Contains(out, "accuracy CDF") || !strings.Contains(out, "#") {
+		t.Fatalf("CDF chart malformed:\n%s", out)
+	}
+	if CDFChart("empty", nil, 40, 8) != "empty: (no data)\n" {
+		t.Fatal("empty CDF should degrade gracefully")
+	}
+	// Identical values must still render.
+	if out := CDFChart("flat", []float64{0.5, 0.5, 0.5}, 40, 8); !strings.Contains(out, "#") {
+		t.Fatalf("flat CDF malformed:\n%s", out)
+	}
+}
+
+func TestSweepChart(t *testing.T) {
+	out := SweepChart("distance", "m", []float64{0.2, 0.4, 0.8}, []float64{0.92, 0.97, 0.90}, 40, 8)
+	if !strings.Contains(out, "o") || !strings.Contains(out, "accuracy") {
+		t.Fatalf("sweep chart malformed:\n%s", out)
+	}
+	if !strings.Contains(SweepChart("bad", "m", []float64{1}, nil, 40, 8), "(no data)") {
+		t.Fatal("mismatched series should degrade gracefully")
+	}
+}
+
+func TestWaveformStrip(t *testing.T) {
+	w := make([]float64, 200)
+	for i := range w {
+		w[i] = float64(i % 17)
+	}
+	out := WaveformStrip("trace", w, []int{50, 150}, 60, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatal("waveform not rendered")
+	}
+	if !strings.Contains(out, "^") || !strings.Contains(out, "blinks") {
+		t.Fatal("blink markers missing")
+	}
+	// Out-of-range marks are ignored, not fatal.
+	if out := WaveformStrip("trace", w, []int{-5, 900}, 60, 8); !strings.Contains(out, "blinks") {
+		t.Fatal("bad marks must not break rendering")
+	}
+}
+
+func TestInsertionSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, rng.Intn(50))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		insertionSort(x)
+		for i := 1; i < len(x); i++ {
+			if x[i] < x[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package scenario composes the physiological, vehicle and RF substrate
+// models into labelled synthetic radar captures: the stand-in for the
+// paper's data collection with 12 participants in a Volkswagen Sagitar.
+// A Spec fully determines a capture (all randomness flows from the
+// seed), and every capture carries its ground-truth blink events.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blinkradar/internal/physio"
+	"blinkradar/internal/rf"
+	"blinkradar/internal/vehicle"
+)
+
+// Environment selects between the paper's two evaluation settings.
+type Environment int
+
+const (
+	// Lab is the static feasibility setup of Section II: subject
+	// seated, radar 40 cm from the eyes, no vehicle.
+	Lab Environment = iota + 1
+	// Driving is the on-road setup of Section VI: radar on the
+	// windshield, vehicle moving.
+	Driving
+)
+
+// String implements fmt.Stringer.
+func (e Environment) String() string {
+	switch e {
+	case Lab:
+		return "lab"
+	case Driving:
+		return "driving"
+	default:
+		return fmt.Sprintf("Environment(%d)", int(e))
+	}
+}
+
+// Antenna beamwidth parameters: the paper finds elevation tolerant to
+// about 30 degrees but azimuth degrading sharply past 15-30 degrees
+// (Sections VI-E/F and the Discussion's "limited angular range of the
+// antenna").
+const (
+	azimuthSigmaDeg   = 26.0
+	elevationSigmaDeg = 40.0
+)
+
+// Spec describes one capture to generate.
+type Spec struct {
+	// Subject is the simulated participant.
+	Subject physio.Subject
+	// State is the driver's alertness state (drives blink statistics).
+	State physio.State
+	// Environment selects lab versus on-road conditions.
+	Environment Environment
+	// Road is the road/traffic class (Driving only).
+	Road vehicle.RoadType
+	// Duration is the capture length in seconds.
+	Duration float64
+	// EyeDistance is the radar-to-eye range in metres (paper default
+	// 0.4; evaluated at 0.2/0.4/0.8 in Fig. 15b).
+	EyeDistance float64
+	// AzimuthDeg is the horizontal off-axis angle of the eye relative
+	// to antenna boresight (Fig. 15d).
+	AzimuthDeg float64
+	// ElevationDeg is the vertical off-axis angle (Fig. 15c).
+	ElevationDeg float64
+	// WithPassenger adds a fidgeting passenger reflector.
+	WithPassenger bool
+	// DeviceVibrationRMS adds vibration of the radar unit itself, in
+	// metres RMS. Unlike road-induced body motion it displaces EVERY
+	// path — including the static clutter the background filter is
+	// supposed to cancel — which is why the paper's Discussion calls
+	// device vibration "a real challenge for wireless sensing".
+	DeviceVibrationRMS float64
+	// Seed drives all randomness in the capture.
+	Seed int64
+	// Channel optionally overrides the radio configuration; the zero
+	// value selects rf.DefaultChannelConfig.
+	Channel rf.ChannelConfig
+}
+
+// DefaultSpec returns a 60 s awake lab capture of subject 1 at 0.4 m,
+// boresight, with a fresh deterministic seed.
+func DefaultSpec() Spec {
+	return Spec{
+		Subject:     physio.NewSubject(1),
+		State:       physio.Awake,
+		Environment: Lab,
+		Road:        vehicle.SmoothHighway,
+		Duration:    60,
+		EyeDistance: 0.4,
+		Seed:        1,
+	}
+}
+
+// Validate reports whether the spec can be generated.
+func (s Spec) Validate() error {
+	if err := s.Subject.Validate(); err != nil {
+		return fmt.Errorf("scenario: subject: %w", err)
+	}
+	switch {
+	case s.State != physio.Awake && s.State != physio.Drowsy:
+		return fmt.Errorf("scenario: invalid state %v", s.State)
+	case s.Environment != Lab && s.Environment != Driving:
+		return fmt.Errorf("scenario: invalid environment %v", s.Environment)
+	case s.Duration <= 0:
+		return fmt.Errorf("scenario: duration must be positive, got %g", s.Duration)
+	case s.EyeDistance <= 0.05:
+		return fmt.Errorf("scenario: eye distance must exceed 5 cm, got %g", s.EyeDistance)
+	case math.Abs(s.AzimuthDeg) > 90 || math.Abs(s.ElevationDeg) > 90:
+		return fmt.Errorf("scenario: angles must be within +/-90 degrees")
+	case s.DeviceVibrationRMS < 0:
+		return fmt.Errorf("scenario: device vibration must be non-negative, got %g", s.DeviceVibrationRMS)
+	}
+	return nil
+}
+
+// Capture is a generated synthetic recording with its ground truth.
+type Capture struct {
+	// Frames is the radar frame matrix the detector consumes.
+	Frames *rf.FrameMatrix
+	// Truth is the ground-truth blink sequence.
+	Truth []physio.Blink
+	// Spec records the generating parameters.
+	Spec Spec
+	// EyeBin is the true range bin of the eye at capture start
+	// (diagnostic only; the detector must find it itself).
+	EyeBin int
+	// State is the ground-truth alertness state.
+	State physio.State
+}
+
+// antennaGain returns the one-way amplitude gain of the antenna toward
+// (azimuth, elevation) in degrees: a separable Gaussian beam.
+func antennaGain(azDeg, elDeg float64) float64 {
+	a := azDeg / azimuthSigmaDeg
+	e := elDeg / elevationSigmaDeg
+	return math.Exp(-0.5 * (a*a + e*e))
+}
+
+// Generate renders the capture described by spec.
+func Generate(spec Spec) (*Capture, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := spec.Channel
+	if cfg.NumBins == 0 {
+		cfg = rf.DefaultChannelConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: channel config: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sub := spec.Subject
+
+	// Ground-truth blink process and eyelid kinematics.
+	blinks, err := physio.GenerateBlinks(sub.Stats(spec.State), spec.Duration, rng)
+	if err != nil {
+		return nil, err
+	}
+	eyelid := physio.NewEyelid(blinks)
+
+	// Posture shifts: more frequent while driving.
+	motionCfg := physio.DefaultBodyMotionConfig()
+	if spec.Environment == Driving {
+		motionCfg.MeanInterval = 30
+	}
+	body, err := physio.GenerateBodyMotion(motionCfg, spec.Duration, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Road vibration (zero-amplitude waveform in the lab).
+	vibCfg := spec.Road.Profile()
+	if spec.Environment == Lab {
+		vibCfg.VibrationRMS = 0
+		vibCfg.ManoeuvreRate = 0
+	}
+	vib, err := vehicle.GenerateVibration(vibCfg, spec.Duration, cfg.FrameRate, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Angular gain applies twice (transmit and receive paths) to every
+	// body reflector; lens attenuation twice to the eye path only.
+	gain := antennaGain(spec.AzimuthDeg, spec.ElevationDeg)
+	gain2 := gain * gain
+	lens2 := sub.Glasses.Attenuation() * sub.Glasses.Attenuation()
+
+	// headMotion is the common small-scale displacement of the head:
+	// respiration coupling, BCG, vibration and posture drift.
+	headMotion := func(t float64) float64 {
+		return sub.Respiration.Head(t) + sub.Heartbeat.Head(t) + vib.At(t) + body.Displacement(t)
+	}
+
+	// The facial skin around the eyes is essentially coplanar with the
+	// eye at radar resolution, but its sub-bin depth structure sets the
+	// relative I/Q phases between the blink-modulated component and the
+	// skin return — a geometry that varies from session to session and
+	// spreads per-capture accuracy, as in Fig. 13a. The skin is a
+	// continuum of scatterer depths, modelled as three sub-reflectors
+	// with randomised offsets.
+	faceOffsets := [3]float64{
+		0.001 + 0.006*rng.Float64(),
+		0.007 + 0.006*rng.Float64(),
+		0.013 + 0.007*rng.Float64(),
+	}
+	faceAmps := [3]float64{
+		0.55 + 0.2*rng.Float64(),
+		0.45 + 0.2*rng.Float64(),
+		0.35 + 0.2*rng.Float64(),
+	}
+
+	eyeBase := spec.EyeDistance
+	reflectors := []rf.Reflector{
+		// The eye: reflectivity blends eyeball and eyelid with lid
+		// closure, and the sweeping lid edge shortens the effective
+		// reflection path (Section II-B / Eq. 8-9).
+		rf.FuncReflector{
+			Name: "eye",
+			Fn: func(t float64) (float64, float64) {
+				closure := eyelid.Closure(t)
+				rho := sub.EyeballReflectivity + (sub.EyelidReflectivity-sub.EyeballReflectivity)*closure
+				rho *= sub.EyeSizeScale() * gain2 * lens2 * eyeReflectivityScale
+				r := eyeBase + headMotion(t) - sub.BlinkPathDelta*closure
+				return r, rho
+			},
+		},
+		// Periocular/forehead skin in the same range bin as the eye:
+		// strong, moves with the head, but carries no blink signature.
+		rf.FuncReflector{
+			Name: "face-near",
+			Fn: func(t float64) (float64, float64) {
+				return eyeBase + faceOffsets[0] + headMotion(t), faceAmps[0] * gain2
+			},
+		},
+		rf.FuncReflector{
+			Name: "face-mid",
+			Fn: func(t float64) (float64, float64) {
+				return eyeBase + faceOffsets[1] + headMotion(t), faceAmps[1] * gain2
+			},
+		},
+		rf.FuncReflector{
+			Name: "face-far",
+			Fn: func(t float64) (float64, float64) {
+				return eyeBase + faceOffsets[2] + headMotion(t), faceAmps[2] * gain2
+			},
+		},
+		// Chin/lower face a little deeper.
+		rf.FuncReflector{
+			Name: "chin",
+			Fn: func(t float64) (float64, float64) {
+				return eyeBase + 0.09 + headMotion(t), 0.8 * gain2
+			},
+		},
+		// Chest: a large reflector many bins away, but the windshield
+		// radar is aimed at the face, so the chest sits 30-40 degrees
+		// below boresight and is partially occluded by the steering
+		// wheel — hence the strong depression-angle attenuation.
+		rf.FuncReflector{
+			Name: "chest",
+			Fn: func(t float64) (float64, float64) {
+				const chestBeamFactor = 0.35
+				return eyeBase + 0.27 + sub.Respiration.Chest(t) + vib.At(t) + body.Displacement(t), 2.4 * chestBeamFactor * gain2
+			},
+		},
+	}
+	if sub.Glasses != physio.NoGlasses {
+		// The lens itself reflects: a head-locked return just in front
+		// of the eye.
+		reflectors = append(reflectors, rf.FuncReflector{
+			Name: "lens",
+			Fn: func(t float64) (float64, float64) {
+				return eyeBase - 0.018 + headMotion(t), 0.5 * gain2
+			},
+		})
+	}
+	for _, c := range scaleCabin(spec) {
+		reflectors = append(reflectors, rf.StaticReflector{
+			Name:         c.Name,
+			Range:        c.Range,
+			Reflectivity: c.Reflectivity,
+		})
+	}
+	if spec.WithPassenger {
+		reflectors = append(reflectors, vehicle.NewPassenger(0.95, spec.Duration, rng))
+	}
+
+	// Device vibration: the radar unit itself shakes, shifting every
+	// path by the same time-varying offset (clutter included).
+	if spec.DeviceVibrationRMS > 0 {
+		devVib, err := vehicle.GenerateVibration(vehicle.VibrationConfig{
+			VibrationRMS:    spec.DeviceVibrationRMS,
+			VibrationBandHz: [2]float64{2, 14},
+		}, spec.Duration, cfg.FrameRate, rng)
+		if err != nil {
+			return nil, err
+		}
+		shaken := make([]rf.Reflector, len(reflectors))
+		for i, r := range reflectors {
+			r := r
+			shaken[i] = rf.FuncReflector{
+				Name: r.Label() + "+device-vib",
+				Fn: func(t float64) (float64, float64) {
+					dist, rho := r.State(t)
+					return dist + devVib.At(t), rho
+				},
+			}
+		}
+		reflectors = shaken
+	}
+
+	ch, err := rf.NewChannel(cfg, spec.Seed^0x5eed)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := ch.Render(reflectors, spec.Duration)
+	if err != nil {
+		return nil, err
+	}
+	return &Capture{
+		Frames: frames,
+		Truth:  blinks,
+		Spec:   spec,
+		EyeBin: frames.DistanceBin(eyeBase),
+		State:  spec.State,
+	}, nil
+}
+
+// eyeReflectivityScale converts the subject's surface reflectivity to
+// the small effective radar cross-section of the eye itself: the eye is
+// a weak reflector compared to the face, chest and cabin clutter
+// (paper Section IV-D: "the magnitude of eye reflections may be weaker
+// than reflections from other surrounding objects").
+const eyeReflectivityScale = 1.20
+
+// scaleCabin returns the cabin clutter for the spec's geometry,
+// shifting the default clutter so its spacing relative to the driver is
+// preserved when the eye distance changes.
+func scaleCabin(spec Spec) []vehicle.Clutter {
+	cabin := vehicle.DefaultCabin()
+	shift := spec.EyeDistance - 0.4
+	out := make([]vehicle.Clutter, 0, len(cabin))
+	for _, c := range cabin {
+		c.Range += shift
+		if c.Range > 0.05 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"blinkradar/internal/physio"
+	"blinkradar/internal/vehicle"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"bad state", func(s *Spec) { s.State = 0 }},
+		{"bad environment", func(s *Spec) { s.Environment = 0 }},
+		{"zero duration", func(s *Spec) { s.Duration = 0 }},
+		{"too close", func(s *Spec) { s.EyeDistance = 0.01 }},
+		{"silly azimuth", func(s *Spec) { s.AzimuthDeg = 120 }},
+		{"bad subject", func(s *Spec) { s.Subject.EyeWidthM = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := DefaultSpec()
+			tc.mutate(&spec)
+			if err := spec.Validate(); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Duration = 20
+	cap, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cap.Frames.NumFrames(); got != 500 {
+		t.Fatalf("frames %d, want 500 (20 s at 25 fps)", got)
+	}
+	if cap.EyeBin != cap.Frames.DistanceBin(spec.EyeDistance) {
+		t.Fatalf("eye bin %d inconsistent", cap.EyeBin)
+	}
+	if len(cap.Truth) == 0 {
+		t.Fatal("no ground-truth blinks in 20 s")
+	}
+	for i, b := range cap.Truth {
+		if b.Start < 0 || b.End() > spec.Duration {
+			t.Fatalf("blink %d outside the capture: %+v", i, b)
+		}
+	}
+	if cap.State != spec.State {
+		t.Fatal("state not recorded")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Duration = 10
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Truth) != len(b.Truth) {
+		t.Fatal("truth differs for identical specs")
+	}
+	for k := range a.Frames.Data {
+		for bin := range a.Frames.Data[k] {
+			if a.Frames.Data[k][bin] != b.Frames.Data[k][bin] {
+				t.Fatalf("frame %d bin %d differs", k, bin)
+			}
+		}
+	}
+	spec.Seed++
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Frames.Data[100][a.EyeBin] == c.Frames.Data[100][c.EyeBin] {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestGenerateEyeBinCarriesSignal(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Duration = 10
+	cap, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := cap.Frames.MeanPowerPerBin()
+	// The face region must out-power remote empty bins by orders of
+	// magnitude.
+	remote := cap.Frames.DistanceBin(1.4)
+	if power[cap.EyeBin] < 100*power[remote] {
+		t.Fatalf("eye bin power %g not dominating empty bin %g", power[cap.EyeBin], power[remote])
+	}
+}
+
+func TestGlassesAttenuateEyePath(t *testing.T) {
+	base := DefaultSpec()
+	base.Duration = 10
+	bare, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaded := base
+	shaded.Subject.Glasses = physio.Sunglasses
+	dark, err := Generate(shaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: the only change is the lens, so the eye-bin return
+	// should differ while the far clutter stays identical.
+	if bare.Frames.Data[50][bare.EyeBin] == dark.Frames.Data[50][dark.EyeBin] {
+		t.Fatal("sunglasses did not change the eye-bin return")
+	}
+}
+
+func TestAngleReducesSignal(t *testing.T) {
+	on := DefaultSpec()
+	on.Duration = 5
+	offAxis := on
+	offAxis.AzimuthDeg = 45
+	a, err := Generate(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(offAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := a.Frames.MeanPowerPerBin()[a.EyeBin]
+	pb := b.Frames.MeanPowerPerBin()[b.EyeBin]
+	if pb >= pa {
+		t.Fatalf("45-degree off-axis power %g not below boresight %g", pb, pa)
+	}
+}
+
+func TestDrivingAddsVibration(t *testing.T) {
+	lab := DefaultSpec()
+	lab.Duration = 30
+	drive := lab
+	drive.Environment = Driving
+	drive.Road = vehicle.BumpyRoad
+	a, err := Generate(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vibration sweeps the phase of the face return far more on the
+	// bumpy drive; compare total phase path length at the eye bin.
+	path := func(c *Capture) float64 {
+		z := c.Frames.SlowTime(c.EyeBin)
+		var acc float64
+		for i := 1; i < len(z); i++ {
+			d := cmplx.Phase(z[i]) - cmplx.Phase(z[i-1])
+			for d > math.Pi {
+				d -= 2 * math.Pi
+			}
+			for d < -math.Pi {
+				d += 2 * math.Pi
+			}
+			acc += math.Abs(d)
+		}
+		return acc
+	}
+	if path(b) < 2*path(a) {
+		t.Fatalf("bumpy drive phase path %g not well above lab %g", path(b), path(a))
+	}
+}
+
+func TestEnvironmentString(t *testing.T) {
+	if Lab.String() != "lab" || Driving.String() != "driving" {
+		t.Fatal("environment stringer broken")
+	}
+	if Environment(9).String() == "" {
+		t.Fatal("unknown environment must still render")
+	}
+}
+
+func TestGenerateWithPassenger(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Duration = 10
+	spec.WithPassenger = true
+	cap, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The passenger at 0.95 m adds power near its bin.
+	pBin := cap.Frames.DistanceBin(0.95)
+	without := spec
+	without.WithPassenger = false
+	capNo, err := Generate(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := cap.Frames.MeanPowerPerBin()[pBin]
+	sans := capNo.Frames.MeanPowerPerBin()[pBin]
+	if with <= sans {
+		t.Fatalf("passenger bin power %g not above %g", with, sans)
+	}
+}

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client consumes a radar frame stream from a radard server and feeds a
+// per-frame callback — typically core.Detector.Feed — on the caller's
+// goroutine.
+type Client struct {
+	conn  net.Conn
+	dec   *Decoder
+	hello StreamHello
+}
+
+// Dial connects to a radar server and reads the stream hello.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+	}
+	hello, err := DecodeHello(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: clear deadline: %w", err)
+	}
+	return &Client{conn: conn, dec: NewDecoder(conn), hello: hello}, nil
+}
+
+// Hello returns the stream geometry announced by the server.
+func (c *Client) Hello() StreamHello { return c.hello }
+
+// Next reads the next frame. It honours the context by closing the
+// connection on cancellation, which unblocks the pending read.
+func (c *Client) Next(ctx context.Context) (Frame, error) {
+	if err := ctx.Err(); err != nil {
+		return Frame{}, err
+	}
+	stop := context.AfterFunc(ctx, func() { c.conn.Close() })
+	defer stop()
+	f, err := c.dec.Decode()
+	if err != nil {
+		if ctx.Err() != nil {
+			return Frame{}, ctx.Err()
+		}
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// Run pulls frames until the context is cancelled or the stream ends,
+// invoking fn for each. A non-nil error from fn stops the loop and is
+// returned.
+func (c *Client) Run(ctx context.Context, fn func(Frame) error) error {
+	for {
+		f, err := c.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }

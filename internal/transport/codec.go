@@ -1,0 +1,219 @@
+// Package transport implements the acquisition link of the real system:
+// the impulse radio streams complex range profiles (over SPI to a
+// Raspberry Pi, then to the processing laptop). Here frames are framed
+// with a compact binary codec and shipped over TCP, so a radar daemon
+// (cmd/radard) can feed any number of live detectors (cmd/radarwatch).
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic marks the start of every frame packet.
+	Magic = 0xB11C
+	// Version is the wire protocol version.
+	Version = 1
+	// MaxBins bounds the per-frame bin count a decoder will accept,
+	// protecting against corrupt or hostile length fields.
+	MaxBins = 1 << 16
+)
+
+// Frame is one radar frame on the wire.
+type Frame struct {
+	// Seq is the monotonically increasing frame sequence number.
+	Seq uint64
+	// TimestampMicros is the capture time in microseconds since the
+	// stream epoch.
+	TimestampMicros uint64
+	// Bins is the complex baseband range profile. Values are carried
+	// as float32 pairs: the radio's dynamic range does not exceed
+	// single precision, and it halves the wire size.
+	Bins []complex128
+}
+
+// Header layout:
+//
+//	0  uint16  magic
+//	2  uint8   version
+//	3  uint8   reserved
+//	4  uint64  seq
+//	12 uint64  timestamp (us)
+//	20 uint32  bin count
+//	24 payload: bin count * 2 * float32
+//	.. uint32  CRC32 (IEEE) over header+payload
+const headerSize = 24
+
+// StreamHello is sent once by the server when a client connects.
+type StreamHello struct {
+	// FrameRate is the slow-time rate in frames per second.
+	FrameRate float64
+	// BinSpacing is the range-bin spacing in metres.
+	BinSpacing float64
+	// NumBins is the per-frame bin count.
+	NumBins uint32
+}
+
+// helloSize is the wire size of StreamHello: magic(2) version(1)
+// reserved(1) frameRate(8) binSpacing(8) numBins(4) crc(4).
+const helloSize = 28
+
+// EncodeHello writes the stream hello to w.
+func EncodeHello(w io.Writer, h StreamHello) error {
+	if h.FrameRate <= 0 || h.BinSpacing <= 0 || h.NumBins == 0 {
+		return fmt.Errorf("transport: invalid hello %+v", h)
+	}
+	buf := make([]byte, helloSize)
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	binary.BigEndian.PutUint64(buf[4:], math.Float64bits(h.FrameRate))
+	binary.BigEndian.PutUint64(buf[12:], math.Float64bits(h.BinSpacing))
+	binary.BigEndian.PutUint32(buf[20:], h.NumBins)
+	binary.BigEndian.PutUint32(buf[24:], crc32.ChecksumIEEE(buf[:24]))
+	_, err := w.Write(buf)
+	if err != nil {
+		return fmt.Errorf("transport: write hello: %w", err)
+	}
+	return nil
+}
+
+// DecodeHello reads the stream hello from r.
+func DecodeHello(r io.Reader) (StreamHello, error) {
+	buf := make([]byte, helloSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return StreamHello{}, fmt.Errorf("transport: read hello: %w", err)
+	}
+	if m := binary.BigEndian.Uint16(buf[0:]); m != Magic {
+		return StreamHello{}, fmt.Errorf("transport: bad hello magic %#x", m)
+	}
+	if v := buf[2]; v != Version {
+		return StreamHello{}, fmt.Errorf("transport: unsupported version %d", v)
+	}
+	if got, want := binary.BigEndian.Uint32(buf[24:]), crc32.ChecksumIEEE(buf[:24]); got != want {
+		return StreamHello{}, fmt.Errorf("transport: hello CRC mismatch %#x != %#x", got, want)
+	}
+	h := StreamHello{
+		FrameRate:  math.Float64frombits(binary.BigEndian.Uint64(buf[4:])),
+		BinSpacing: math.Float64frombits(binary.BigEndian.Uint64(buf[12:])),
+		NumBins:    binary.BigEndian.Uint32(buf[20:]),
+	}
+	if h.FrameRate <= 0 || h.BinSpacing <= 0 || h.NumBins == 0 || h.NumBins > MaxBins {
+		return StreamHello{}, fmt.Errorf("transport: implausible hello %+v", h)
+	}
+	return h, nil
+}
+
+// Encoder writes frames to an underlying stream. It buffers internally;
+// call Flush (or use the Server, which does) to push packets out.
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Encode writes one frame.
+func (e *Encoder) Encode(f Frame) error {
+	n := len(f.Bins)
+	if n == 0 || n > MaxBins {
+		return fmt.Errorf("transport: frame has %d bins, want 1..%d", n, MaxBins)
+	}
+	total := headerSize + n*8 + 4
+	if cap(e.buf) < total {
+		e.buf = make([]byte, total)
+	}
+	buf := e.buf[:total]
+	binary.BigEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = 0
+	binary.BigEndian.PutUint64(buf[4:], f.Seq)
+	binary.BigEndian.PutUint64(buf[12:], f.TimestampMicros)
+	binary.BigEndian.PutUint32(buf[20:], uint32(n))
+	off := headerSize
+	for _, c := range f.Bins {
+		binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(real(c))))
+		binary.BigEndian.PutUint32(buf[off+4:], math.Float32bits(float32(imag(c))))
+		off += 8
+	}
+	binary.BigEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	if _, err := e.w.Write(buf); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered packets to the underlying writer.
+func (e *Encoder) Flush() error {
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads frames from an underlying stream.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode reads one frame. It returns io.EOF (possibly wrapped) when the
+// stream ends cleanly at a packet boundary.
+func (d *Decoder) Decode() (Frame, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(d.r, header); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("transport: read header: %w", err)
+	}
+	if m := binary.BigEndian.Uint16(header[0:]); m != Magic {
+		return Frame{}, fmt.Errorf("transport: bad magic %#x", m)
+	}
+	if v := header[2]; v != Version {
+		return Frame{}, fmt.Errorf("transport: unsupported version %d", v)
+	}
+	n := binary.BigEndian.Uint32(header[20:])
+	if n == 0 || n > MaxBins {
+		return Frame{}, fmt.Errorf("transport: implausible bin count %d", n)
+	}
+	payload := int(n)*8 + 4
+	if cap(d.buf) < payload {
+		d.buf = make([]byte, payload)
+	}
+	body := d.buf[:payload]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return Frame{}, fmt.Errorf("transport: read payload: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(header)
+	crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-4])
+	if got := binary.BigEndian.Uint32(body[len(body)-4:]); got != crc {
+		return Frame{}, fmt.Errorf("transport: frame CRC mismatch %#x != %#x", got, crc)
+	}
+	f := Frame{
+		Seq:             binary.BigEndian.Uint64(header[4:]),
+		TimestampMicros: binary.BigEndian.Uint64(header[12:]),
+		Bins:            make([]complex128, n),
+	}
+	off := 0
+	for i := range f.Bins {
+		re := math.Float32frombits(binary.BigEndian.Uint32(body[off:]))
+		im := math.Float32frombits(binary.BigEndian.Uint32(body[off+4:]))
+		f.Bins[i] = complex(float64(re), float64(im))
+		off += 8
+	}
+	return f, nil
+}

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"blinkradar/internal/rf"
+)
+
+// WriteCapture serialises a frame matrix to w in the wire format
+// (hello followed by encoded frames). It is the storage format of
+// cmd/radarsim.
+func WriteCapture(w io.Writer, m *rf.FrameMatrix) error {
+	if err := EncodeHello(w, StreamHello{
+		FrameRate:  m.FrameRate,
+		BinSpacing: m.BinSpacing,
+		NumBins:    uint32(m.NumBins()),
+	}); err != nil {
+		return err
+	}
+	enc := NewEncoder(w)
+	for k, frame := range m.Data {
+		err := enc.Encode(Frame{
+			Seq:             uint64(k),
+			TimestampMicros: uint64(m.FrameTime(k) * 1e6),
+			Bins:            frame,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// ReadCapture parses a capture file back into a frame matrix.
+func ReadCapture(r io.Reader) (*rf.FrameMatrix, error) {
+	hello, err := DecodeHello(r)
+	if err != nil {
+		return nil, err
+	}
+	dec := NewDecoder(r)
+	var frames [][]complex128
+	for {
+		f, err := dec.Decode()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(f.Bins) != int(hello.NumBins) {
+			return nil, fmt.Errorf("transport: frame %d has %d bins, hello says %d", f.Seq, len(f.Bins), hello.NumBins)
+		}
+		frames = append(frames, f.Bins)
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("transport: capture holds no frames")
+	}
+	m, err := rf.NewFrameMatrix(len(frames), int(hello.NumBins), hello.FrameRate, hello.BinSpacing)
+	if err != nil {
+		return nil, err
+	}
+	for k, f := range frames {
+		copy(m.Data[k], f)
+	}
+	return m, nil
+}

@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"blinkradar/internal/rf"
+)
+
+// FrameSource produces radar frames at the radio's frame rate.
+// NextFrame blocks until the next frame is available and returns the
+// range profile (which the server copies before reuse is allowed), or
+// an error to terminate the stream.
+type FrameSource interface {
+	NextFrame() ([]complex128, error)
+	// Hello describes the stream geometry.
+	Hello() StreamHello
+}
+
+// MatrixSource replays a recorded frame matrix, optionally pacing to
+// real time and looping forever.
+type MatrixSource struct {
+	m      *rf.FrameMatrix
+	next   int
+	pace   bool
+	loop   bool
+	ticker *time.Ticker
+}
+
+// NewMatrixSource wraps a frame matrix. With pace true, NextFrame waits
+// one frame period between frames; with loop true, the capture repeats
+// indefinitely.
+func NewMatrixSource(m *rf.FrameMatrix, pace, loop bool) *MatrixSource {
+	s := &MatrixSource{m: m, pace: pace, loop: loop}
+	if pace {
+		s.ticker = time.NewTicker(time.Duration(float64(time.Second) / m.FrameRate))
+	}
+	return s
+}
+
+// SetSpeed re-paces the source at speed times real time (only
+// meaningful for a paced source; call before serving).
+func (s *MatrixSource) SetSpeed(speed float64) {
+	if s.ticker == nil || speed <= 0 {
+		return
+	}
+	s.ticker.Stop()
+	s.ticker = time.NewTicker(time.Duration(float64(time.Second) / (s.m.FrameRate * speed)))
+}
+
+// Hello implements FrameSource.
+func (s *MatrixSource) Hello() StreamHello {
+	return StreamHello{
+		FrameRate:  s.m.FrameRate,
+		BinSpacing: s.m.BinSpacing,
+		NumBins:    uint32(s.m.NumBins()),
+	}
+}
+
+// NextFrame implements FrameSource.
+func (s *MatrixSource) NextFrame() ([]complex128, error) {
+	if s.next >= s.m.NumFrames() {
+		if !s.loop {
+			return nil, fmt.Errorf("transport: capture exhausted after %d frames", s.next)
+		}
+		s.next = 0
+	}
+	if s.ticker != nil {
+		<-s.ticker.C
+	}
+	frame := s.m.Data[s.next]
+	s.next++
+	return frame, nil
+}
+
+// Close releases the pacing ticker.
+func (s *MatrixSource) Close() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+// Server broadcasts a frame source to every connected TCP client — the
+// radar daemon half of the deployment. Slow clients are disconnected
+// rather than allowed to stall the radio.
+type Server struct {
+	src    FrameSource
+	logger *log.Logger
+	// minClients gates the pump: frames are not consumed from the
+	// source until this many subscribers are connected. Useful for
+	// finite replay sources that would otherwise drain before the
+	// first client arrives.
+	minClients int
+
+	mu      sync.Mutex
+	clients map[*client]struct{}
+	seq     uint64
+	epoch   time.Time
+}
+
+type client struct {
+	conn net.Conn
+	ch   chan Frame
+}
+
+// clientQueue bounds the per-client backlog (4 s at the default rate).
+const clientQueue = 100
+
+// NewServer creates a server over the given source. A nil logger
+// discards diagnostics.
+func NewServer(src FrameSource, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Server{
+		src:     src,
+		logger:  logger,
+		clients: make(map[*client]struct{}),
+		epoch:   time.Now(),
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Serve accepts clients on ln and pumps frames until the context is
+// cancelled or the source fails. It always closes the listener.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer ln.Close()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	go s.acceptLoop(ln)
+	return s.pump(ctx)
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &client{conn: conn, ch: make(chan Frame, clientQueue)}
+		s.mu.Lock()
+		s.clients[c] = struct{}{}
+		s.mu.Unlock()
+		s.logger.Printf("client connected: %s", conn.RemoteAddr())
+		go s.writeLoop(c)
+	}
+}
+
+func (s *Server) writeLoop(c *client) {
+	defer s.drop(c)
+	if err := EncodeHello(c.conn, s.src.Hello()); err != nil {
+		s.logger.Printf("hello to %s failed: %v", c.conn.RemoteAddr(), err)
+		return
+	}
+	enc := NewEncoder(c.conn)
+	for f := range c.ch {
+		if err := enc.Encode(f); err != nil {
+			s.logger.Printf("send to %s failed: %v", c.conn.RemoteAddr(), err)
+			return
+		}
+		// Flush when the queue drains so frames are not held back.
+		if len(c.ch) == 0 {
+			if err := enc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) drop(c *client) {
+	s.mu.Lock()
+	if _, ok := s.clients[c]; ok {
+		delete(s.clients, c)
+		close(c.ch)
+	}
+	s.mu.Unlock()
+	c.conn.Close()
+}
+
+// SetMinClients makes the pump wait for n subscribers before reading
+// the source. Call before Serve.
+func (s *Server) SetMinClients(n int) { s.minClients = n }
+
+// pump reads frames from the source and fans them out.
+func (s *Server) pump(ctx context.Context) error {
+	for s.minClients > 0 && s.NumClients() < s.minClients {
+		select {
+		case <-ctx.Done():
+			s.closeAll()
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			s.closeAll()
+			return ctx.Err()
+		default:
+		}
+		bins, err := s.src.NextFrame()
+		if err != nil {
+			s.closeAll()
+			return fmt.Errorf("transport: source: %w", err)
+		}
+		f := Frame{
+			Seq:             s.seq,
+			TimestampMicros: uint64(time.Since(s.epoch).Microseconds()),
+			Bins:            append([]complex128(nil), bins...),
+		}
+		s.seq++
+		s.broadcast(f)
+	}
+}
+
+func (s *Server) broadcast(f Frame) {
+	s.mu.Lock()
+	var stale []*client
+	for c := range s.clients {
+		select {
+		case c.ch <- f:
+		default:
+			// Client cannot keep up with the radio; cut it loose.
+			stale = append(stale, c)
+		}
+	}
+	for _, c := range stale {
+		delete(s.clients, c)
+		close(c.ch)
+		s.logger.Printf("dropping slow client %s", c.conn.RemoteAddr())
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	for c := range s.clients {
+		delete(s.clients, c)
+		close(c.ch)
+	}
+	s.mu.Unlock()
+}
+
+// NumClients reports the current subscriber count.
+func (s *Server) NumClients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blinkradar/internal/rf"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := StreamHello{FrameRate: 25, BinSpacing: 0.0107, NumBins: 150}
+	if err := EncodeHello(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("hello round trip %+v != %+v", got, want)
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeHello(&buf, StreamHello{}); err == nil {
+		t.Fatal("zero hello must be rejected")
+	}
+	// Corrupt a valid hello.
+	buf.Reset()
+	if err := EncodeHello(&buf, StreamHello{FrameRate: 25, BinSpacing: 0.01, NumBins: 10}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] ^= 0xFF
+	if _, err := DecodeHello(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted hello must fail the CRC")
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seed int64, rawBins uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawBins)%64 + 1
+		frame := Frame{
+			Seq:             rng.Uint64(),
+			TimestampMicros: rng.Uint64(),
+			Bins:            make([]complex128, n),
+		}
+		for i := range frame.Bins {
+			// float32 payload: use values that survive the narrowing.
+			frame.Bins[i] = complex(float64(float32(rng.NormFloat64())), float64(float32(rng.NormFloat64())))
+		}
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.Encode(frame); err != nil {
+			return false
+		}
+		if err := enc.Flush(); err != nil {
+			return false
+		}
+		got, err := NewDecoder(&buf).Decode()
+		if err != nil {
+			return false
+		}
+		if got.Seq != frame.Seq || got.TimestampMicros != frame.TimestampMicros || len(got.Bins) != n {
+			return false
+		}
+		for i := range got.Bins {
+			if got.Bins[i] != frame.Bins[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameCRCDetection(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(Frame{Seq: 1, Bins: []complex128{1 + 2i, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[headerSize+2] ^= 0x01 // flip one payload bit
+	if _, err := NewDecoder(bytes.NewReader(raw)).Decode(); err == nil {
+		t.Fatal("bit flip must fail the CRC")
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	enc := NewEncoder(io.Discard)
+	if err := enc.Encode(Frame{}); err == nil {
+		t.Fatal("empty frame must be rejected")
+	}
+	// Bad magic.
+	raw := make([]byte, headerSize)
+	if _, err := NewDecoder(bytes.NewReader(raw)).Decode(); err == nil {
+		t.Fatal("zero magic must be rejected")
+	}
+	// Clean EOF at a packet boundary.
+	if _, err := NewDecoder(bytes.NewReader(nil)).Decode(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream error %v, want io.EOF", err)
+	}
+}
+
+func TestCaptureFileRoundTrip(t *testing.T) {
+	m, err := rf.NewFrameMatrix(7, 5, 25, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := range m.Data {
+		for b := range m.Data[k] {
+			m.Data[k][b] = complex(float64(float32(rng.NormFloat64())), float64(float32(rng.NormFloat64())))
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFrames() != 7 || got.NumBins() != 5 || got.FrameRate != 25 {
+		t.Fatalf("round trip dims %dx%d", got.NumFrames(), got.NumBins())
+	}
+	for k := range m.Data {
+		for b := range m.Data[k] {
+			if got.Data[k][b] != m.Data[k][b] {
+				t.Fatalf("sample %d/%d differs", k, b)
+			}
+		}
+	}
+}
+
+func TestReadCaptureEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeHello(&buf, StreamHello{FrameRate: 25, BinSpacing: 0.01, NumBins: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCapture(&buf); err == nil {
+		t.Fatal("frameless capture must be rejected")
+	}
+}
+
+// testMatrix builds a small capture for server tests.
+func testMatrix(t *testing.T, frames int) *rf.FrameMatrix {
+	t.Helper()
+	m, err := rf.NewFrameMatrix(frames, 8, 25, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Data {
+		m.Data[k][0] = complex(float64(k), 0)
+	}
+	return m
+}
+
+func TestServerClientStream(t *testing.T) {
+	m := testMatrix(t, 50)
+	src := NewMatrixSource(m, false, false)
+	defer src.Close()
+	server := NewServer(src, nil)
+	server.SetMinClients(1)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(ctx, ln) }()
+
+	client, err := Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if got := client.Hello(); got.NumBins != 8 || got.FrameRate != 25 {
+		t.Fatalf("hello %+v", got)
+	}
+	var frames int
+	err = client.Run(ctx, func(f Frame) error {
+		if f.Seq != uint64(frames) {
+			t.Errorf("frame %d has seq %d", frames, f.Seq)
+		}
+		if f.Bins[0] != complex(float64(frames), 0) {
+			t.Errorf("frame %d payload %v", frames, f.Bins[0])
+		}
+		frames++
+		return nil
+	})
+	// The finite source ends the stream; the client sees a read error
+	// or EOF, never a silent hang.
+	if err == nil {
+		t.Fatal("stream end must surface an error")
+	}
+	if frames != 50 {
+		t.Fatalf("received %d frames, want 50", frames)
+	}
+	<-done
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	m := testMatrix(t, 30)
+	src := NewMatrixSource(m, false, false)
+	defer src.Close()
+	server := NewServer(src, nil)
+	server.SetMinClients(2)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go server.Serve(ctx, ln)
+
+	counts := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			client, err := Dial(ctx, ln.Addr().String())
+			if err != nil {
+				counts <- -1
+				return
+			}
+			defer client.Close()
+			n := 0
+			client.Run(ctx, func(Frame) error { n++; return nil })
+			counts <- n
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if n := <-counts; n != 30 {
+			t.Fatalf("client received %d frames, want 30", n)
+		}
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	m := testMatrix(t, 10)
+	// A looping paced source never ends on its own.
+	src := NewMatrixSource(m, true, true)
+	defer src.Close()
+	server := NewServer(src, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCtx, serverCancel := context.WithCancel(context.Background())
+	defer serverCancel()
+	go server.Serve(serverCtx, ln)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	client, err := Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	err = client.Run(ctx, func(Frame) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMatrixSourceExhaustion(t *testing.T) {
+	m := testMatrix(t, 3)
+	src := NewMatrixSource(m, false, false)
+	defer src.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := src.NextFrame(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, err := src.NextFrame(); err == nil {
+		t.Fatal("exhausted source must error")
+	}
+	// Looping source wraps instead.
+	loop := NewMatrixSource(m, false, true)
+	defer loop.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := loop.NextFrame(); err != nil {
+			t.Fatalf("looping frame %d: %v", i, err)
+		}
+	}
+}

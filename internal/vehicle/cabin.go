@@ -1,0 +1,83 @@
+package vehicle
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Clutter is one static in-cabin reflector.
+type Clutter struct {
+	// Name identifies the reflector (for diagnostics).
+	Name string
+	// Range is the radar-to-reflector distance in metres.
+	Range float64
+	// Reflectivity is the amplitude reflection factor. Seats and the
+	// steering wheel reflect far more strongly than the eye (paper
+	// Section IV-B2), which is why amplitude-based bin selection
+	// fails.
+	Reflectivity float64
+}
+
+// DefaultCabin returns the static clutter of a windshield-mounted radar
+// facing the driver: steering wheel, seat back, headrest, B-pillar.
+// Ranges assume the paper's 0.4 m radar-to-eye geometry.
+func DefaultCabin() []Clutter {
+	return []Clutter{
+		{Name: "steering-wheel", Range: 0.28, Reflectivity: 2.6},
+		{Name: "dashboard-edge", Range: 0.16, Reflectivity: 1.9},
+		{Name: "seat-back", Range: 0.78, Reflectivity: 3.1},
+		{Name: "headrest", Range: 0.66, Reflectivity: 2.2},
+		{Name: "b-pillar", Range: 1.05, Reflectivity: 1.5},
+	}
+}
+
+// Passenger models a fidgeting passenger: a moving ambient-interference
+// source at a different range from the driver. Movement is sparse
+// random fidgets over an otherwise static position.
+type Passenger struct {
+	baseRange    float64
+	reflectivity float64
+	fidgets      []fidget
+}
+
+type fidget struct {
+	start, duration, amplitude, freq float64
+}
+
+// NewPassenger creates a passenger at the given range with sparse
+// fidgeting over [0, duration) seconds.
+func NewPassenger(baseRange, duration float64, rng *rand.Rand) *Passenger {
+	p := &Passenger{
+		baseRange:    baseRange,
+		reflectivity: 1.4 + 0.6*rng.Float64(),
+	}
+	const meanInterval = 20.0
+	t := rng.ExpFloat64() * meanInterval
+	for t < duration {
+		p.fidgets = append(p.fidgets, fidget{
+			start:     t,
+			duration:  1 + 2*rng.Float64(),
+			amplitude: 0.01 + 0.04*rng.Float64(),
+			freq:      0.5 + 1.5*rng.Float64(),
+		})
+		t += rng.ExpFloat64() * meanInterval
+	}
+	return p
+}
+
+// State returns the passenger's range and reflectivity at time t,
+// matching the rf.Reflector contract.
+func (p *Passenger) State(t float64) (float64, float64) {
+	r := p.baseRange
+	for _, f := range p.fidgets {
+		if t < f.start || t > f.start+f.duration {
+			continue
+		}
+		env := math.Sin(math.Pi * (t - f.start) / f.duration)
+		r += f.amplitude * env * math.Sin(2*math.Pi*f.freq*(t-f.start))
+	}
+	return r, p.reflectivity
+}
+
+// Label returns the reflector name.
+func (p *Passenger) Label() string { return "passenger" }

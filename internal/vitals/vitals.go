@@ -1,0 +1,233 @@
+// Package vitals estimates respiration and heart rate from the same
+// radar stream BlinkRadar uses for blink detection. The paper exploits
+// the "embedded interference" of breathing-coupled head sway and
+// ballistocardiographic (BCG) motion only to locate the eye's range
+// bin; this package extracts the interference itself, following the
+// in-vehicle vital-sign systems the paper builds on (V2iFi, MoRe-Fi).
+//
+// The estimator unwraps the phase of the selected bin's I/Q trajectory
+// around its Pratt-fitted centre — displacement maps linearly to phase
+// (Eq. 9) — and reads the respiration and heartbeat fundamentals from
+// the spectrum of that displacement waveform.
+package vitals
+
+import (
+	"fmt"
+	"math"
+
+	"blinkradar/internal/dsp"
+	"blinkradar/internal/iq"
+)
+
+// Physiological search bands in hertz.
+const (
+	// RespLowHz and RespHighHz bound plausible breathing rates for a
+	// seated adult (9-30 breaths/min). The lower bound deliberately
+	// sits above the posture-drift band, which otherwise bleeds into
+	// the slowest respiration bins.
+	RespLowHz  = 0.15
+	RespHighHz = 0.5
+	// HeartLowHz and HeartHighHz bound plausible heart rates
+	// (48-120 beats/min).
+	HeartLowHz  = 0.8
+	HeartHighHz = 2.0
+)
+
+// Estimate is the output of a vital-sign analysis window.
+type Estimate struct {
+	// RespirationHz is the estimated breathing rate in hertz (0 when
+	// not found).
+	RespirationHz float64
+	// HeartHz is the estimated heart rate in hertz (0 when not found).
+	HeartHz float64
+	// RespirationSNR and HeartSNR compare each spectral peak against
+	// the median in-band power; higher is more trustworthy.
+	RespirationSNR, HeartSNR float64
+}
+
+// RespirationBPM returns the breathing rate in breaths per minute.
+func (e Estimate) RespirationBPM() float64 { return e.RespirationHz * 60 }
+
+// HeartBPM returns the heart rate in beats per minute.
+func (e Estimate) HeartBPM() float64 { return e.HeartHz * 60 }
+
+// minWindowSec is the shortest analysis window that resolves the
+// respiration band (a couple of breath cycles).
+const minWindowSec = 15.0
+
+// EstimateFromSeries analyses the slow-time I/Q samples of one range
+// bin sampled at fps frames per second. The series should already be
+// background-subtracted (static clutter removed).
+func EstimateFromSeries(series []complex128, fps float64) (Estimate, error) {
+	if fps <= 0 {
+		return Estimate{}, fmt.Errorf("vitals: fps must be positive, got %g", fps)
+	}
+	if float64(len(series)) < minWindowSec*fps {
+		return Estimate{}, fmt.Errorf("vitals: need at least %.0f s of samples, got %.1f s",
+			minWindowSec, float64(len(series))/fps)
+	}
+	// Displacement waveform: the angle around the fitted arc centre
+	// scales linearly with radial motion (delta-phi = -4 pi f0 d / c).
+	c, err := iq.FitCirclePratt(series)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("vitals: arc fit: %w", err)
+	}
+	angles := make([]float64, len(series))
+	for i, z := range series {
+		d := z - c.Center
+		angles[i] = math.Atan2(imag(d), real(d))
+	}
+	disp := iq.Unwrap(angles)
+	// Remove drift slower than any plausible breath: posture settling
+	// and tracker wander otherwise dominate the lowest respiration
+	// bins. A 10 s moving-average baseline acts as a gentle high-pass
+	// at ~0.1 Hz.
+	baseline, err := dsp.MovingAverage(disp, int(10*fps)|1)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("vitals: detrend: %w", err)
+	}
+	for i := range disp {
+		disp[i] -= baseline[i]
+	}
+
+	// Zero-pad to a power of two for frequency resolution.
+	n := dsp.NextPow2(4 * len(disp))
+	padded := make([]float64, n)
+	copy(padded, dsp.ApplyWindow(disp, dsp.Hann(len(disp))))
+	power := dsp.PowerSpectrum(padded)
+	freqs := dsp.FFTFreq(n, fps)
+
+	var est Estimate
+	est.RespirationHz, est.RespirationSNR = bandPeak(power, freqs, RespLowHz, RespHighHz, nil)
+	// Exclude respiration harmonics from the heart band: breathing at
+	// rate f leaks power at 2f..5f which can sit inside 0.8-2 Hz.
+	var exclude []float64
+	if est.RespirationHz > 0 {
+		for h := 2.0; h <= 6; h++ {
+			exclude = append(exclude, est.RespirationHz*h)
+		}
+	}
+	est.HeartHz, est.HeartSNR = bandPeak(power, freqs, HeartLowHz, HeartHighHz, exclude)
+	return est, nil
+}
+
+// harmonicGuardHz is how close to a respiration harmonic a heart-band
+// peak may sit before it is rejected as leakage.
+const harmonicGuardHz = 0.06
+
+// bandPeak finds the strongest spectral peak in [lo, hi] hertz,
+// skipping bins within harmonicGuardHz of any excluded frequency. It
+// returns (0, 0) when the band is empty or the peak does not rise above
+// the in-band median.
+func bandPeak(power, freqs []float64, lo, hi float64, exclude []float64) (float64, float64) {
+	var inBand []float64
+	bestIdx := -1
+	for i, f := range freqs {
+		if f < lo || f > hi {
+			continue
+		}
+		inBand = append(inBand, power[i])
+		skip := false
+		for _, ex := range exclude {
+			if math.Abs(f-ex) < harmonicGuardHz {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		if bestIdx < 0 || power[i] > power[bestIdx] {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 || len(inBand) == 0 {
+		return 0, 0
+	}
+	med := dsp.Median(inBand)
+	if med <= 0 {
+		return 0, 0
+	}
+	snr := power[bestIdx] / med
+	if snr < 3 {
+		// No clear line in the band.
+		return 0, 0
+	}
+	return freqs[bestIdx], snr
+}
+
+// Monitor accumulates slow-time samples of a tracked bin and produces
+// rolling vital-sign estimates — the streaming counterpart of
+// EstimateFromSeries, for use alongside the blink detector.
+type Monitor struct {
+	fps      float64
+	window   int
+	every    int
+	buf      []complex128
+	pos      int
+	count    int
+	sincePos int
+	last     Estimate
+	haveLast bool
+}
+
+// NewMonitor creates a streaming estimator with the given analysis
+// window and update interval in seconds.
+func NewMonitor(fps, windowSec, updateSec float64) (*Monitor, error) {
+	if fps <= 0 {
+		return nil, fmt.Errorf("vitals: fps must be positive, got %g", fps)
+	}
+	if windowSec < minWindowSec {
+		return nil, fmt.Errorf("vitals: window must be at least %.0f s, got %g", minWindowSec, windowSec)
+	}
+	if updateSec <= 0 {
+		return nil, fmt.Errorf("vitals: update interval must be positive, got %g", updateSec)
+	}
+	return &Monitor{
+		fps:    fps,
+		window: int(windowSec * fps),
+		every:  int(updateSec * fps),
+		buf:    make([]complex128, int(windowSec*fps)),
+	}, nil
+}
+
+// Push adds one background-subtracted I/Q sample of the tracked bin.
+// It returns a fresh estimate and true at each update interval once the
+// window has filled.
+func (m *Monitor) Push(z complex128) (Estimate, bool) {
+	m.buf[m.pos] = z
+	m.pos = (m.pos + 1) % len(m.buf)
+	if m.count < len(m.buf) {
+		m.count++
+	}
+	m.sincePos++
+	if m.count < len(m.buf) || m.sincePos < m.every {
+		return Estimate{}, false
+	}
+	m.sincePos = 0
+	series := make([]complex128, 0, m.count)
+	start := m.pos - m.count
+	for i := 0; i < m.count; i++ {
+		idx := start + i
+		if idx < 0 {
+			idx += len(m.buf)
+		}
+		series = append(series, m.buf[idx%len(m.buf)])
+	}
+	est, err := EstimateFromSeries(series, m.fps)
+	if err != nil {
+		return Estimate{}, false
+	}
+	m.last = est
+	m.haveLast = true
+	return est, true
+}
+
+// Last returns the most recent estimate and whether one exists.
+func (m *Monitor) Last() (Estimate, bool) { return m.last, m.haveLast }
+
+// Reset clears the sample window (e.g. after the tracked bin changes).
+func (m *Monitor) Reset() {
+	m.pos, m.count, m.sincePos = 0, 0, 0
+	m.haveLast = false
+}

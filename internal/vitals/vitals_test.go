@@ -1,0 +1,168 @@
+package vitals
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"blinkradar/internal/core"
+	"blinkradar/internal/scenario"
+)
+
+// syntheticVitalSeries builds an arc trajectory whose angle is driven
+// by a respiration sinusoid plus a weaker heartbeat component.
+func syntheticVitalSeries(n int, fps, respHz, heartHz float64, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	center := complex(1.5, -0.8)
+	out := make([]complex128, n)
+	for i := range out {
+		t := float64(i) / fps
+		angle := 0.4*math.Sin(2*math.Pi*respHz*t) + 0.08*math.Sin(2*math.Pi*heartHz*t)
+		out[i] = center + cmplx.Rect(1.2, angle) +
+			complex(rng.NormFloat64()*0.004, rng.NormFloat64()*0.004)
+	}
+	return out
+}
+
+func TestEstimateFromSeriesSynthetic(t *testing.T) {
+	const fps = 25.0
+	const respHz, heartHz = 0.25, 1.2
+	series := syntheticVitalSeries(int(60*fps), fps, respHz, heartHz, 1)
+	est, err := EstimateFromSeries(series, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.RespirationHz-respHz) > 0.03 {
+		t.Fatalf("respiration %g Hz, want %g", est.RespirationHz, respHz)
+	}
+	if math.Abs(est.HeartHz-heartHz) > 0.06 {
+		t.Fatalf("heart %g Hz, want %g", est.HeartHz, heartHz)
+	}
+	if est.RespirationSNR < 3 || est.HeartSNR < 3 {
+		t.Fatalf("weak SNRs %g/%g", est.RespirationSNR, est.HeartSNR)
+	}
+	if est.RespirationBPM() != est.RespirationHz*60 {
+		t.Fatal("BPM conversion broken")
+	}
+}
+
+func TestEstimateRejectsHarmonicLeakage(t *testing.T) {
+	// Respiration at 0.45 Hz puts harmonics at 0.9/1.35/1.8 Hz inside
+	// the heart band; with a true heartbeat at 1.1 Hz the estimator
+	// must not report a harmonic.
+	const fps = 25.0
+	series := syntheticVitalSeries(int(90*fps), fps, 0.45, 1.1, 2)
+	est, err := EstimateFromSeries(series, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.HeartHz-1.1) > 0.08 {
+		t.Fatalf("heart estimate %g Hz captured by a respiration harmonic, want 1.1", est.HeartHz)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	series := syntheticVitalSeries(100, 25, 0.25, 1.2, 3)
+	if _, err := EstimateFromSeries(series, 0); err == nil {
+		t.Fatal("zero fps must be rejected")
+	}
+	if _, err := EstimateFromSeries(series, 25); err == nil {
+		t.Fatal("short window must be rejected")
+	}
+}
+
+func TestEstimateNoSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	series := make([]complex128, 800)
+	for i := range series {
+		series[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	est, err := EstimateFromSeries(series, 25)
+	if err != nil {
+		// A degenerate fit on pure noise is acceptable.
+		return
+	}
+	// Zero-padded periodograms of white noise show peak-to-median
+	// ratios of ~5-20; anything far beyond that would mean the
+	// estimator manufactures confidence from nothing.
+	if est.RespirationSNR > 60 || est.HeartSNR > 60 {
+		t.Fatalf("confident vital signs on pure noise: %+v", est)
+	}
+}
+
+func TestMonitorStreaming(t *testing.T) {
+	const fps = 25.0
+	m, err := NewMonitor(fps, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := syntheticVitalSeries(int(70*fps), fps, 0.3, 1.3, 5)
+	var updates int
+	var last Estimate
+	for _, z := range series {
+		if est, ok := m.Push(z); ok {
+			updates++
+			last = est
+		}
+	}
+	if updates == 0 {
+		t.Fatal("no streaming estimates in 70 s")
+	}
+	if math.Abs(last.RespirationHz-0.3) > 0.04 {
+		t.Fatalf("streaming respiration %g, want 0.3", last.RespirationHz)
+	}
+	if got, ok := m.Last(); !ok || got != last {
+		t.Fatal("Last() does not match the final update")
+	}
+	m.Reset()
+	if _, ok := m.Last(); ok {
+		t.Fatal("reset monitor retains an estimate")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0, 30, 5); err == nil {
+		t.Fatal("zero fps must be rejected")
+	}
+	if _, err := NewMonitor(25, 5, 5); err == nil {
+		t.Fatal("short window must be rejected")
+	}
+	if _, err := NewMonitor(25, 30, 0); err == nil {
+		t.Fatal("zero update interval must be rejected")
+	}
+}
+
+func TestVitalsOnScenarioCapture(t *testing.T) {
+	// End to end: the subject's true respiration and heart rates must
+	// be recoverable from the radar capture's face bin.
+	spec := scenario.DefaultSpec()
+	spec.Duration = 90
+	spec.Seed = 31
+	cap, err := scenario.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	pre, err := core.PreprocessMatrix(cfg, cap.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := core.SelectBinMatrix(cfg, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := int(cfg.BackgroundTauSec*cap.Frames.FrameRate) + 1
+	est, err := EstimateFromSeries(pre.SlowTime(best.Bin)[skip:], cap.Frames.FrameRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResp := spec.Subject.Respiration.RateHz
+	if math.Abs(est.RespirationHz-wantResp) > 0.05 {
+		t.Fatalf("respiration %g Hz, subject's true rate %g", est.RespirationHz, wantResp)
+	}
+	wantHeart := spec.Subject.Heartbeat.RateHz
+	if est.HeartHz > 0 && math.Abs(est.HeartHz-wantHeart) > 0.15 {
+		t.Fatalf("heart %g Hz, subject's true rate %g", est.HeartHz, wantHeart)
+	}
+}

@@ -1,0 +1,164 @@
+package blinkradar
+
+import (
+	"fmt"
+
+	"blinkradar/internal/vitals"
+)
+
+// Monitor is the highest-level API: a streaming drowsy-driving monitor
+// that consumes radar frames, detects blinks, maintains the rolling
+// blink-rate window, and — once calibrated — raises drowsiness
+// assessments. It composes a Detector with a DrowsinessModel exactly as
+// the in-car deployment does. Monitor is not safe for concurrent use.
+type Monitor struct {
+	det       *Detector
+	model     *DrowsinessModel
+	windowSec float64
+	frameRate float64
+
+	vitals    *vitals.Monitor
+	vitalsBin int
+
+	events []BlinkEvent
+	frame  int
+}
+
+// Assessment is the monitor's rolling judgement for the latest
+// completed window.
+type Assessment struct {
+	// WindowEnd is the end time of the assessed window in seconds.
+	WindowEnd float64
+	// Features are the window's blink statistics.
+	Features WindowFeatures
+	// Drowsy is the classification (false when the model is not
+	// calibrated).
+	Drowsy bool
+	// Posterior is the drowsy probability under equal priors (0.5
+	// when uncalibrated).
+	Posterior float64
+	// Calibrated reports whether a trained model produced the
+	// judgement.
+	Calibrated bool
+	// Vitals carries the latest vital-sign estimate from the same
+	// radar stream, when one is available.
+	Vitals *VitalsEstimate
+}
+
+// NewMonitor builds a monitor for frames with numBins range bins at
+// frameRate frames per second, assessing drowsiness over windows of
+// windowSec seconds (the paper uses 60).
+func NewMonitor(cfg Config, numBins int, frameRate, windowSec float64, opts ...Option) (*Monitor, error) {
+	if windowSec <= 0 {
+		return nil, fmt.Errorf("blinkradar: window must be positive, got %g", windowSec)
+	}
+	det, err := NewDetector(cfg, numBins, frameRate, opts...)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := vitals.NewMonitor(frameRate, 30, 5)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		det:       det,
+		model:     &DrowsinessModel{},
+		windowSec: windowSec,
+		frameRate: frameRate,
+		vitals:    vm,
+		vitalsBin: -1,
+	}, nil
+}
+
+// Calibrate trains the per-driver drowsiness model from labelled
+// enrolment windows (paper Section V: one awake and one drowsy
+// recording per participant).
+func (m *Monitor) Calibrate(awake, drowsy []WindowFeatures) error {
+	return m.model.Train(awake, drowsy)
+}
+
+// Calibrated reports whether drowsiness classification is active.
+func (m *Monitor) Calibrated() bool { return m.model.Trained() }
+
+// Feed consumes one radar frame. It returns a detected blink (ok true)
+// and, at each window boundary, a non-nil Assessment.
+func (m *Monitor) Feed(frame []complex128) (ev BlinkEvent, ok bool, assessment *Assessment, err error) {
+	ev, ok, err = m.det.Feed(frame)
+	if err != nil {
+		return BlinkEvent{}, false, nil, err
+	}
+	if ok {
+		m.events = append(m.events, ev)
+	}
+	// Feed the vital-sign estimator from the tracked bin; a bin change
+	// invalidates its window.
+	if z, bin, sampled := m.det.CurrentSample(); sampled {
+		if bin != m.vitalsBin {
+			m.vitals.Reset()
+			m.vitalsBin = bin
+		}
+		m.vitals.Push(z)
+	}
+	m.frame++
+	windowFrames := int(m.windowSec * m.frameRate)
+	if windowFrames > 0 && m.frame%windowFrames == 0 {
+		a, aerr := m.assess()
+		if aerr != nil {
+			return BlinkEvent{}, false, nil, aerr
+		}
+		assessment = &a
+	}
+	return ev, ok, assessment, nil
+}
+
+// assess summarises the just-completed window.
+func (m *Monitor) assess() (Assessment, error) {
+	end := float64(m.frame) / m.frameRate
+	start := end - m.windowSec
+	var count int
+	var durSum float64
+	for _, e := range m.events {
+		if e.Time >= start && e.Time < end {
+			count++
+			durSum += e.Duration
+		}
+	}
+	f := WindowFeatures{BlinkRate: float64(count) / m.windowSec * 60}
+	if count > 0 {
+		f.MeanBlinkDuration = durSum / float64(count)
+	}
+	a := Assessment{WindowEnd: end, Features: f, Posterior: 0.5}
+	if est, ok := m.vitals.Last(); ok {
+		a.Vitals = &est
+	}
+	if m.model.Trained() {
+		drowsy, posterior, err := m.model.Classify(f)
+		if err != nil {
+			return Assessment{}, err
+		}
+		a.Drowsy = drowsy
+		a.Posterior = posterior
+		a.Calibrated = true
+	}
+	// Trim events that can no longer affect any window.
+	cutoff := end - 2*m.windowSec
+	trimmed := m.events[:0]
+	for _, e := range m.events {
+		if e.Time >= cutoff {
+			trimmed = append(trimmed, e)
+		}
+	}
+	m.events = trimmed
+	return a, nil
+}
+
+// Events returns the blinks detected in the retained history (roughly
+// the last two windows).
+func (m *Monitor) Events() []BlinkEvent {
+	out := make([]BlinkEvent, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Detector exposes the underlying pipeline for diagnostics.
+func (m *Monitor) Detector() *Detector { return m.det }
