@@ -32,6 +32,7 @@ package blinkradar
 import (
 	"blinkradar/internal/core"
 	"blinkradar/internal/eval"
+	"blinkradar/internal/obs"
 	"blinkradar/internal/physio"
 	"blinkradar/internal/rf"
 	"blinkradar/internal/scenario"
@@ -200,3 +201,24 @@ var (
 
 // DefaultWarmup is the scoring exclusion window in seconds.
 const DefaultWarmup = eval.DefaultWarmup
+
+// Observability types: attach a MetricsRegistry to a Monitor or
+// Detector via SetRegistry and export it through a MetricsAdmin (or
+// scrape Snapshot directly).
+type (
+	// MetricsRegistry holds named atomic counters, gauges and
+	// histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-marshalable view.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsAdmin serves /metrics, /healthz and pprof over HTTP.
+	MetricsAdmin = obs.Admin
+)
+
+// Observability entry points.
+var (
+	// NewMetricsRegistry creates an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewMetricsAdmin builds the admin HTTP surface over a registry.
+	NewMetricsAdmin = obs.NewAdmin
+)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -98,6 +99,108 @@ func TestRadarsimCaptureRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRadardAdminEndpoints boots the daemon and scrapes its admin
+// port: /healthz must go healthy once the stream is pumping, and
+// /metrics must export a JSON snapshot with live counters.
+func TestRadardAdminEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI admin test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	radard := buildTool(t, dir, "radard")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	daemon := exec.CommandContext(ctx, radard,
+		"-addr", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0",
+		"-duration", "10",
+		"-pace=true",
+		"-speed", "8",
+		"-loop=true",
+		"-seed", "7",
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// Parse the announced admin address off stderr.
+	adminAddr := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stderr)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if i := strings.Index(line, "admin endpoints on "); i >= 0 {
+				rest := line[i+len("admin endpoints on "):]
+				adminAddr <- strings.Fields(rest)[0]
+				return
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-adminAddr:
+		base = "http://" + a
+	case <-time.After(30 * time.Second):
+		t.Fatal("radard never announced its admin address")
+	}
+
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+	getJSON := func(path string, out any) (int, error) {
+		resp, err := httpClient.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	// /healthz reports ok once the pump is live.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var health struct {
+			Status string `json:"status"`
+		}
+		code, err := getJSON("/healthz", &health)
+		if err == nil && code == http.StatusOK && health.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never went healthy (last: code %d, err %v)", code, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// /metrics exports the counters and shows frames flowing.
+	for {
+		var snap struct {
+			Counters map[string]uint64 `json:"counters"`
+		}
+		code, err := getJSON("/metrics", &snap)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("/metrics: code %d, err %v", code, err)
+		}
+		if _, ok := snap.Counters["transport_server_frames_pumped_total"]; !ok {
+			t.Fatalf("/metrics missing frame counter: %v", snap.Counters)
+		}
+		if snap.Counters["transport_server_frames_pumped_total"] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never pumped a frame")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 func TestRadardRadarwatchPipeline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI pipeline skipped in -short mode")
@@ -113,6 +216,7 @@ func TestRadardRadarwatchPipeline(t *testing.T) {
 	// that the monitoring client never becomes a dropped slow client.
 	daemon := exec.CommandContext(ctx, radard,
 		"-addr", "127.0.0.1:0",
+		"-admin", "", // keep this test focused on the frame stream
 		"-duration", "45",
 		"-pace=true",
 		"-speed", "4",

@@ -3,9 +3,14 @@
 // replays a file written by radarsim, and broadcasts frames over TCP to
 // any number of radarwatch clients, paced at the radio frame rate.
 //
+// Alongside the frame stream it serves an admin HTTP port with
+// /metrics (JSON snapshot of the daemon's counters, gauges and
+// latency histograms), /healthz, and the standard pprof handlers —
+// the field-diagnostics surface of the in-vehicle deployment.
+//
 // Usage:
 //
-//	radard -addr :7341 [-file capture.brc] [-loop] [flags]
+//	radard -addr :7341 [-admin :7342] [-file capture.brc] [-loop] [flags]
 package main
 
 import (
@@ -17,9 +22,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"blinkradar"
+	"blinkradar/internal/obs"
 	"blinkradar/internal/transport"
 )
 
@@ -27,10 +34,12 @@ func main() {
 	logger := log.New(os.Stderr, "radard: ", log.LstdFlags)
 	var (
 		addr      = flag.String("addr", ":7341", "TCP listen address")
+		adminAddr = flag.String("admin", ":7342", "admin HTTP address for /metrics, /healthz and pprof (empty disables)")
 		file      = flag.String("file", "", "replay a radarsim capture instead of simulating")
 		loop      = flag.Bool("loop", true, "repeat the capture indefinitely")
 		pace      = flag.Bool("pace", true, "pace frames to the radio frame rate")
 		speed     = flag.Float64("speed", 1, "playback speed multiplier when pacing")
+		startSeq  = flag.Uint64("start-seq", 0, "initial frame sequence number (lets restarts preserve gap accounting downstream)")
 		subjectID = flag.Int("subject", 1, "participant profile id (simulated mode)")
 		duration  = flag.Float64("duration", 120, "simulated capture length in seconds")
 		drowsy    = flag.Bool("drowsy-state", false, "simulate a drowsy driver")
@@ -44,7 +53,9 @@ func main() {
 	}
 	src := transport.NewMatrixSource(matrix, *pace, *loop)
 	if *pace && *speed != 1 {
-		src.SetSpeed(*speed)
+		if err := src.SetSpeed(*speed); err != nil {
+			logger.Fatal(err)
+		}
 	}
 	defer src.Close()
 
@@ -56,8 +67,40 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	reg := obs.NewRegistry()
 	srv := transport.NewServer(src, logger)
-	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
+	srv.SetRegistry(reg)
+	if *startSeq > 0 {
+		srv.SetStartSeq(*startSeq)
+	}
+
+	// streaming flips once the pump is live; /healthz reports 503 until
+	// then and again after the stream dies.
+	var streaming atomic.Bool
+	if *adminAddr != "" {
+		admin := obs.NewAdmin(reg, func() error {
+			if !streaming.Load() {
+				return errors.New("frame stream not running")
+			}
+			return nil
+		})
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		go func() {
+			if err := admin.Serve(ctx, adminLn); err != nil {
+				logger.Printf("admin server: %v", err)
+			}
+		}()
+		logger.Printf("admin endpoints on %s (/metrics, /healthz, /debug/pprof/)", adminLn.Addr())
+	}
+
+	streaming.Store(true)
+	err = srv.Serve(ctx, ln)
+	streaming.Store(false)
+	if err != nil && !errors.Is(err, context.Canceled) {
 		logger.Fatal(err)
 	}
 }

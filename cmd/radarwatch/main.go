@@ -3,9 +3,15 @@
 // rolling drowsiness assessments as they happen — the in-car monitor
 // half of the deployment.
 //
+// The link is resilient: if radard restarts (ignition cycle, daemon
+// upgrade), radarwatch reconnects with exponential backoff, records
+// the outage as a sequence gap, and rebuilds its pipeline if the
+// stream comes back with a different geometry. An optional admin port
+// exposes the monitor's own /metrics, /healthz and pprof.
+//
 // Usage:
 //
-//	radarwatch -addr localhost:7341 [-window 60]
+//	radarwatch -addr localhost:7341 [-window 60] [-admin :7343]
 package main
 
 import (
@@ -13,13 +19,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"blinkradar"
+	"blinkradar/internal/obs"
 	"blinkradar/internal/transport"
 )
 
@@ -27,29 +34,64 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("radarwatch: ")
 	var (
-		addr   = flag.String("addr", "localhost:7341", "radard address")
-		window = flag.Float64("window", 60, "drowsiness window in seconds")
+		addr      = flag.String("addr", "localhost:7341", "radard address")
+		window    = flag.Float64("window", 60, "drowsiness window in seconds")
+		adminAddr = flag.String("admin", "", "admin HTTP address for /metrics, /healthz and pprof (empty disables)")
+		retries   = flag.Int("max-retries", 0, "give up after this many consecutive failed dials (0 retries forever)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	client, err := transport.Dial(ctx, *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer client.Close()
-	hello := client.Hello()
-	fmt.Printf("connected: %d bins at %.1f fps, %.1f mm bin spacing\n",
-		hello.NumBins, hello.FrameRate, hello.BinSpacing*1000)
-
-	monitor, err := blinkradar.NewMonitor(blinkradar.DefaultConfig(), int(hello.NumBins), hello.FrameRate, *window)
-	if err != nil {
-		log.Fatal(err)
+	reg := obs.NewRegistry()
+	if *adminAddr != "" {
+		go func() {
+			if err := obs.NewAdmin(reg, nil).ListenAndServe(ctx, *adminAddr); err != nil {
+				log.Printf("admin server: %v", err)
+			}
+		}()
 	}
 
-	err = client.Run(ctx, func(f transport.Frame) error {
+	// The monitor is (re)built on connect, sized by the announced
+	// stream geometry. All callbacks run on the Run goroutine, so no
+	// locking is needed around it.
+	var monitor *blinkradar.Monitor
+	buildMonitor := func(h transport.StreamHello) error {
+		m, err := blinkradar.NewMonitor(blinkradar.DefaultConfig(), int(h.NumBins), h.FrameRate, *window)
+		if err != nil {
+			return err
+		}
+		m.SetRegistry(reg)
+		monitor = m
+		return nil
+	}
+
+	client := transport.NewReconnectingClient(*addr, transport.ReconnectConfig{
+		DialTimeout:            5 * time.Second,
+		MaxConsecutiveFailures: *retries,
+		Registry:               reg,
+		Logger:                 log.New(os.Stderr, "radarwatch: ", 0),
+		OnConnect: func(h transport.StreamHello, reconnected bool) error {
+			verb := "connected"
+			if reconnected {
+				verb = "reconnected"
+			}
+			fmt.Printf("%s: %d bins at %.1f fps, %.1f mm bin spacing\n",
+				verb, h.NumBins, h.FrameRate, h.BinSpacing*1000)
+			if monitor == nil {
+				return buildMonitor(h)
+			}
+			return nil
+		},
+		OnHelloChange: func(prev, next transport.StreamHello) error {
+			fmt.Printf("stream geometry changed (%d -> %d bins); resetting pipeline\n",
+				prev.NumBins, next.NumBins)
+			return buildMonitor(next)
+		},
+	})
+
+	err := client.Run(ctx, func(f transport.Frame) error {
 		ev, ok, assessment, err := monitor.Feed(f.Bins)
 		if err != nil {
 			return err
@@ -80,10 +122,12 @@ func main() {
 		}
 		return nil
 	})
+
+	stats := client.Stats()
+	fmt.Printf("session: %d frames, %d reconnects, %d frames lost in %d gaps\n",
+		stats.Frames, stats.Reconnects, stats.SeqGapFrames, stats.SeqGaps)
 	switch {
-	case err == nil,
-		errors.Is(err, context.Canceled),
-		errors.Is(err, io.EOF):
+	case err == nil, errors.Is(err, context.Canceled):
 		fmt.Println("stream ended")
 	default:
 		log.Fatal(err)

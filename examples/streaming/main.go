@@ -42,7 +42,9 @@ func main() {
 	// daemon paces at the radio's 25 fps), waiting for the monitor to
 	// connect before streaming.
 	src := transport.NewMatrixSource(capture.Frames, true, false)
-	src.SetSpeed(40)
+	if err := src.SetSpeed(40); err != nil {
+		log.Fatal(err)
+	}
 	server := transport.NewServer(src, nil)
 	server.SetMinClients(1)
 	serverDone := make(chan error, 1)

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"blinkradar/internal/obs"
 	"blinkradar/internal/rf"
 )
 
@@ -45,6 +47,13 @@ type Detector struct {
 	thrTrace   []float64
 	scratch    []complex128
 	eventCount int
+
+	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
+	mFrames      *obs.Counter
+	mBlinks      *obs.Counter
+	mRestarts    *obs.Counter
+	mBinSwitches *obs.Counter
+	mLatency     *obs.Histogram
 }
 
 // NewDetector builds a detector for frames with numBins range bins at
@@ -96,6 +105,22 @@ func NewDetector(cfg Config, numBins int, frameRate float64, opts ...Option) (*D
 // Config returns the effective configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// SetRegistry attaches an observability registry. Call before feeding
+// frames. Exported metrics:
+//
+//	core_frames_total          frames consumed
+//	core_blinks_total          confirmed blink detections
+//	core_restarts_total        motion-triggered pipeline restarts
+//	core_bin_switches_total    adaptive bin migrations
+//	core_frame_latency_seconds per-frame processing latency histogram
+func (d *Detector) SetRegistry(r *obs.Registry) {
+	d.mFrames = r.Counter("core_frames_total")
+	d.mBlinks = r.Counter("core_blinks_total")
+	d.mRestarts = r.Counter("core_restarts_total")
+	d.mBinSwitches = r.Counter("core_bin_switches_total")
+	d.mLatency = r.Histogram("core_frame_latency_seconds", obs.DefLatencyBuckets())
+}
+
 // EnableTrace records the distance waveform and threshold per frame for
 // figure generation. Call before feeding frames.
 func (d *Detector) EnableTrace() { d.trace = true }
@@ -143,6 +168,11 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	if len(frame) != d.bins {
 		return BlinkEvent{}, false, fmt.Errorf("core: frame has %d bins, detector configured for %d", len(frame), d.bins)
 	}
+	if d.mLatency != nil {
+		start := time.Now()
+		defer func() { d.mLatency.Observe(time.Since(start).Seconds()) }()
+	}
+	d.mFrames.Inc()
 	copy(d.scratch, frame)
 	if err := d.pre.Process(d.scratch); err != nil {
 		return BlinkEvent{}, false, err
@@ -185,6 +215,7 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	if fired && d.frame >= d.settleUntil {
 		ev.Bin = d.bin
 		d.eventCount++
+		d.mBlinks.Inc()
 		return ev, true, nil
 	}
 	return BlinkEvent{}, false, nil
@@ -242,6 +273,7 @@ func (d *Detector) maybeReselect() {
 		d.bin = best.Bin
 		d.binScore = best.Score
 		d.binSwitches++
+		d.mBinSwitches.Inc()
 		d.matured = false
 		d.tracker.Reset()
 		d.tracker.Seed(tail(d.ring.series(d.bin), d.cfg.FitWindowFrames))
@@ -279,6 +311,7 @@ func (d *Detector) checkMotionRestart(dist float64) {
 // tracker and clears the motion counter.
 func (d *Detector) restart() {
 	d.restarts++
+	d.mRestarts.Inc()
 	d.sustain = 0
 	d.restartAt = d.frame
 	d.selectBin(true)

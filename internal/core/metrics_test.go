@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"blinkradar/internal/obs"
+)
+
+func TestDetectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	det, err := NewDetector(DefaultConfig(), 32, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.SetRegistry(reg)
+	frame := make([]complex128, 32)
+	for i := 0; i < 100; i++ {
+		if _, _, err := det.Feed(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("core_frames_total").Value(); got != 100 {
+		t.Fatalf("core_frames_total = %d, want 100", got)
+	}
+	h := reg.Histogram("core_frame_latency_seconds", nil)
+	if h.Count() != 100 {
+		t.Fatalf("latency observations = %d, want 100", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("latency sum = %g, want > 0", h.Sum())
+	}
+	// The uninstrumented counters exist but are untouched on a silent
+	// stream.
+	if got := reg.Counter("core_blinks_total").Value(); got != 0 {
+		t.Fatalf("core_blinks_total = %d on a silent stream", got)
+	}
+}
+
+func TestDetectorWithoutRegistry(t *testing.T) {
+	// No registry attached: instrumentation must be a no-op, not a
+	// panic.
+	det, err := NewDetector(DefaultConfig(), 32, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]complex128, 32)
+	for i := 0; i < 10; i++ {
+		if _, _, err := det.Feed(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin serves the runtime introspection endpoints:
+//
+//	/metrics        JSON snapshot of the registry
+//	/healthz        liveness probe (503 while the health check fails)
+//	/debug/pprof/*  standard Go profiling handlers
+//
+// It is deliberately tiny: the daemon runs on an embedded box in a
+// vehicle, and the admin port is how field diagnostics happen.
+type Admin struct {
+	reg    *Registry
+	health func() error
+	start  time.Time
+}
+
+// NewAdmin builds an admin surface over reg. health reports liveness;
+// nil means always healthy.
+func NewAdmin(reg *Registry, health func() error) *Admin {
+	return &Admin{reg: reg, health: health, start: time.Now()}
+}
+
+// Handler returns the admin HTTP handler.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.serveMetrics)
+	mux.HandleFunc("/healthz", a.serveHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (a *Admin) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = a.reg.WriteJSON(w)
+}
+
+func (a *Admin) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		Status        string  `json:"status"`
+		Error         string  `json:"error,omitempty"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{Status: "ok", UptimeSeconds: time.Since(a.start).Seconds()}
+	code := http.StatusOK
+	if a.health != nil {
+		if err := a.health(); err != nil {
+			resp.Status = "unhealthy"
+			resp.Error = err.Error()
+			code = http.StatusServiceUnavailable
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// ListenAndServe runs the admin server on addr until the context is
+// cancelled, then shuts it down gracefully. It returns nil on a clean
+// shutdown.
+func (a *Admin) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return a.Serve(ctx, ln)
+}
+
+// Serve runs the admin server on an existing listener (useful for
+// tests and for binding port 0).
+func (a *Admin) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: a.Handler()}
+	stop := make(chan struct{})
+	watcher := make(chan struct{})
+	go func() {
+		defer close(watcher)
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		case <-stop:
+		}
+	}()
+	err := srv.Serve(ln)
+	close(stop)
+	<-watcher
+	if ctx.Err() != nil && errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

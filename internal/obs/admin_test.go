@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// startAdmin serves an Admin on a loopback port and returns its base
+// URL plus a shutdown func.
+func startAdmin(t *testing.T, a *Admin) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Serve(ctx, ln) }()
+	url := "http://" + ln.Addr().String()
+	return url, func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("admin serve: %v", err)
+		}
+	}
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("transport_server_frames_pumped_total").Add(42)
+	reg.Gauge("clients").Set(2)
+	url, stop := startAdmin(t, NewAdmin(reg, nil))
+	defer stop()
+
+	code, body := get(t, url+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("/metrics body is not JSON: %v\n%s", err, body)
+	}
+	if s.Counters["transport_server_frames_pumped_total"] != 42 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	var failing error
+	health := func() error { return failing }
+	url, stop := startAdmin(t, NewAdmin(NewRegistry(), health))
+	defer stop()
+
+	code, body := get(t, url+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy status %d: %s", code, body)
+	}
+	var resp struct {
+		Status        string  `json:"status"`
+		Error         string  `json:"error"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.UptimeSeconds < 0 {
+		t.Fatalf("healthz %+v", resp)
+	}
+
+	failing = errors.New("radio gone")
+	code, body = get(t, url+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "unhealthy" || resp.Error != "radio gone" {
+		t.Fatalf("healthz %+v", resp)
+	}
+}
+
+func TestAdminPprofIndex(t *testing.T) {
+	url, stop := startAdmin(t, NewAdmin(NewRegistry(), nil))
+	defer stop()
+	code, body := get(t, url+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("pprof index status %d: %s", code, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("pprof index returned nothing")
+	}
+}
+
+func TestAdminGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- NewAdmin(NewRegistry(), nil).Serve(ctx, ln) }()
+	// Make one request so the server is definitely up before cancelling.
+	get(t, fmt.Sprintf("http://%s/healthz", ln.Addr()))
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admin server did not shut down")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"blinkradar/internal/obs"
 )
 
 // Client consumes a radar frame stream from a radard server and feeds a
@@ -14,6 +16,14 @@ type Client struct {
 	conn  net.Conn
 	dec   *Decoder
 	hello StreamHello
+
+	lastSeq uint64
+	haveSeq bool
+
+	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
+	mFrames    *obs.Counter
+	mSeqGaps   *obs.Counter
+	mGapFrames *obs.Counter
 }
 
 // Dial connects to a radar server and reads the stream hello.
@@ -41,6 +51,18 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 	return &Client{conn: conn, dec: NewDecoder(conn), hello: hello}, nil
 }
 
+// SetRegistry attaches an observability registry. Call before reading
+// frames. Exported metrics:
+//
+//	transport_client_frames_received_total  frames decoded from the wire
+//	transport_client_seq_gaps_total         discontinuities in Frame.Seq
+//	transport_client_seq_gap_frames_total   frames lost across all gaps
+func (c *Client) SetRegistry(r *obs.Registry) {
+	c.mFrames = r.Counter("transport_client_frames_received_total")
+	c.mSeqGaps = r.Counter("transport_client_seq_gaps_total")
+	c.mGapFrames = r.Counter("transport_client_seq_gap_frames_total")
+}
+
 // Hello returns the stream geometry announced by the server.
 func (c *Client) Hello() StreamHello { return c.hello }
 
@@ -59,8 +81,19 @@ func (c *Client) Next(ctx context.Context) (Frame, error) {
 		}
 		return Frame{}, err
 	}
+	c.mFrames.Inc()
+	if c.haveSeq && f.Seq > c.lastSeq+1 {
+		c.mSeqGaps.Inc()
+		c.mGapFrames.Add(f.Seq - c.lastSeq - 1)
+	}
+	c.lastSeq = f.Seq
+	c.haveSeq = true
 	return f, nil
 }
+
+// LastSeq returns the sequence number of the most recent frame and
+// whether any frame has been read yet.
+func (c *Client) LastSeq() (uint64, bool) { return c.lastSeq, c.haveSeq }
 
 // Run pulls frames until the context is cancelled or the stream ends,
 // invoking fn for each. A non-nil error from fn stops the loop and is

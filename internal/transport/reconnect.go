@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"blinkradar/internal/obs"
+)
+
+// Backoff parameterises the reconnect schedule: exponential growth
+// from Initial to Max with ±Jitter fractional randomisation so a fleet
+// of monitors does not hammer a restarting daemon in lockstep.
+type Backoff struct {
+	// Initial is the delay after the first failure (default 200 ms).
+	Initial time.Duration
+	// Max caps the delay (default 5 s).
+	Max time.Duration
+	// Multiplier grows the delay per consecutive failure (default 2).
+	Multiplier float64
+	// Jitter is the fractional randomisation of each delay in [0, 1)
+	// (default 0.2, i.e. ±20%).
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 200 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// ReconnectConfig tunes a ReconnectingClient. The zero value is usable:
+// default backoff, a 3 s per-attempt dial timeout, and unlimited
+// retries.
+type ReconnectConfig struct {
+	// Backoff is the reconnect schedule.
+	Backoff Backoff
+	// DialTimeout bounds each connection attempt, hello included
+	// (default 3 s).
+	DialTimeout time.Duration
+	// MaxConsecutiveFailures aborts Run after this many dial failures
+	// in a row with the last error; 0 retries forever.
+	MaxConsecutiveFailures int
+	// OnConnect, when non-nil, runs after every successful dial with
+	// the announced geometry and whether this is a reconnect. A non-nil
+	// error aborts Run.
+	OnConnect func(hello StreamHello, reconnected bool) error
+	// OnHelloChange, when non-nil, runs before OnConnect whenever a
+	// reconnect announces a different stream geometry (the daemon came
+	// back with another capture or radio config). A non-nil error
+	// aborts Run; consumers typically rebuild their pipeline here.
+	OnHelloChange func(prev, next StreamHello) error
+	// Logger receives reconnect diagnostics; nil discards them.
+	Logger *log.Logger
+	// Registry, when non-nil, exports reconnect metrics.
+	Registry *obs.Registry
+}
+
+// ReconnectStats is a point-in-time view of a ReconnectingClient's
+// lifetime accounting.
+type ReconnectStats struct {
+	// Connects counts successful dials (including the first).
+	Connects uint64
+	// Reconnects counts successful dials after the first.
+	Reconnects uint64
+	// DialFailures counts failed connection attempts.
+	DialFailures uint64
+	// SeqGaps counts forward discontinuities in Frame.Seq, within a
+	// connection or across a reconnect.
+	SeqGaps uint64
+	// SeqGapFrames totals the frames lost across all gaps.
+	SeqGapFrames uint64
+	// EpochResets counts sequence numbers moving backwards — the
+	// daemon restarted its counter, so no loss can be attributed.
+	EpochResets uint64
+	// Frames counts frames delivered to the callback.
+	Frames uint64
+}
+
+// ReconnectingClient wraps Dial/Run with automatic reconnection so a
+// monitor survives a radar daemon restart instead of exiting: the
+// in-vehicle deployment expects transient link loss (ignition cycles,
+// daemon upgrades) as a matter of course. It is not safe for concurrent
+// Run calls; Stats and Hello may be read from other goroutines.
+type ReconnectingClient struct {
+	addr string
+	cfg  ReconnectConfig
+	rng  *rand.Rand
+
+	mu        sync.Mutex
+	stats     ReconnectStats
+	hello     StreamHello
+	haveHello bool
+	lastSeq   uint64
+	haveSeq   bool
+
+	// Metrics (nil-safe no-ops without a registry).
+	mReconnects   *obs.Counter
+	mDialFailures *obs.Counter
+	mSeqGaps      *obs.Counter
+	mGapFrames    *obs.Counter
+	mEpochResets  *obs.Counter
+}
+
+// NewReconnectingClient builds a reconnecting consumer of the radar
+// stream at addr. Run does the dialling; nothing connects until then.
+func NewReconnectingClient(addr string, cfg ReconnectConfig) *ReconnectingClient {
+	cfg.Backoff = cfg.Backoff.withDefaults()
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(discard{}, "", 0)
+	}
+	rc := &ReconnectingClient{
+		addr: addr,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if r := cfg.Registry; r != nil {
+		rc.mReconnects = r.Counter("transport_reconnects_total")
+		rc.mDialFailures = r.Counter("transport_dial_failures_total")
+		rc.mSeqGaps = r.Counter("transport_client_seq_gaps_total")
+		rc.mGapFrames = r.Counter("transport_client_seq_gap_frames_total")
+		rc.mEpochResets = r.Counter("transport_epoch_resets_total")
+	}
+	return rc
+}
+
+// Stats returns a snapshot of the lifetime accounting.
+func (rc *ReconnectingClient) Stats() ReconnectStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stats
+}
+
+// Hello returns the most recently announced stream geometry and whether
+// any connection has succeeded yet.
+func (rc *ReconnectingClient) Hello() (StreamHello, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hello, rc.haveHello
+}
+
+// callbackError marks an error raised by the consumer callback, which
+// must stop Run rather than trigger a reconnect.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// Run connects and pulls frames, reconnecting with exponential backoff
+// whenever the stream drops, until the context is cancelled, fn or a
+// geometry callback returns an error, or MaxConsecutiveFailures dial
+// attempts fail in a row. Frames are delivered in order; frames missed
+// while disconnected surface in Stats as sequence gaps.
+func (rc *ReconnectingClient) Run(ctx context.Context, fn func(Frame) error) error {
+	backoff := rc.cfg.Backoff.Initial
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		dialCtx, cancel := context.WithTimeout(ctx, rc.cfg.DialTimeout)
+		c, err := Dial(dialCtx, rc.addr)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			failures++
+			rc.mDialFailures.Inc()
+			rc.mu.Lock()
+			rc.stats.DialFailures++
+			rc.mu.Unlock()
+			if max := rc.cfg.MaxConsecutiveFailures; max > 0 && failures >= max {
+				return fmt.Errorf("transport: giving up after %d failed attempts: %w", failures, err)
+			}
+			rc.cfg.Logger.Printf("dial %s failed (attempt %d): %v; retrying in %s", rc.addr, failures, err, backoff)
+			if err := rc.sleep(ctx, backoff); err != nil {
+				return err
+			}
+			backoff = rc.nextBackoff(backoff)
+			continue
+		}
+		failures = 0
+		backoff = rc.cfg.Backoff.Initial
+
+		if err := rc.connected(c.Hello()); err != nil {
+			c.Close()
+			return err
+		}
+
+		err = c.Run(ctx, func(f Frame) error {
+			rc.trackSeq(f.Seq)
+			if err := fn(f); err != nil {
+				return &callbackError{err}
+			}
+			return nil
+		})
+		c.Close()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var cb *callbackError
+		if errors.As(err, &cb) {
+			return cb.err
+		}
+		// Stream error or clean EOF: the daemon went away; reconnect.
+		rc.cfg.Logger.Printf("stream from %s ended: %v; reconnecting", rc.addr, err)
+	}
+}
+
+// connected records a successful dial and fires the geometry callbacks.
+func (rc *ReconnectingClient) connected(h StreamHello) error {
+	rc.mu.Lock()
+	prev, had := rc.hello, rc.haveHello
+	changed := had && prev != h
+	rc.hello = h
+	rc.haveHello = true
+	rc.stats.Connects++
+	reconnected := rc.stats.Connects > 1
+	if reconnected {
+		rc.stats.Reconnects++
+	}
+	if changed {
+		// New geometry means the old sequence space is meaningless.
+		rc.haveSeq = false
+	}
+	rc.mu.Unlock()
+
+	if reconnected {
+		rc.mReconnects.Inc()
+	}
+	if changed {
+		rc.cfg.Logger.Printf("stream geometry changed: %+v -> %+v", prev, h)
+		if rc.cfg.OnHelloChange != nil {
+			if err := rc.cfg.OnHelloChange(prev, h); err != nil {
+				return err
+			}
+		}
+	}
+	if rc.cfg.OnConnect != nil {
+		return rc.cfg.OnConnect(h, reconnected)
+	}
+	return nil
+}
+
+// trackSeq maintains gap accounting across frames and reconnects.
+func (rc *ReconnectingClient) trackSeq(seq uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.stats.Frames++
+	switch {
+	case !rc.haveSeq:
+	case seq > rc.lastSeq+1:
+		gap := seq - rc.lastSeq - 1
+		rc.stats.SeqGaps++
+		rc.stats.SeqGapFrames += gap
+		rc.mSeqGaps.Inc()
+		rc.mGapFrames.Add(gap)
+	case seq <= rc.lastSeq:
+		rc.stats.EpochResets++
+		rc.mEpochResets.Inc()
+	}
+	rc.lastSeq = seq
+	rc.haveSeq = true
+}
+
+// sleep waits for d or the context, whichever comes first.
+func (rc *ReconnectingClient) sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(rc.jittered(d))
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// jittered randomises d by ±Jitter.
+func (rc *ReconnectingClient) jittered(d time.Duration) time.Duration {
+	j := rc.cfg.Backoff.Jitter
+	if j <= 0 {
+		return d
+	}
+	rc.mu.Lock()
+	f := rc.rng.Float64()
+	rc.mu.Unlock()
+	return time.Duration(float64(d) * (1 - j + 2*j*f))
+}
+
+// nextBackoff grows the delay toward the cap.
+func (rc *ReconnectingClient) nextBackoff(d time.Duration) time.Duration {
+	next := time.Duration(float64(d) * rc.cfg.Backoff.Multiplier)
+	if next > rc.cfg.Backoff.Max {
+		next = rc.cfg.Backoff.Max
+	}
+	return next
+}

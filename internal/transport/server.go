@@ -2,12 +2,15 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 	"time"
 
+	"blinkradar/internal/obs"
 	"blinkradar/internal/rf"
 )
 
@@ -24,11 +27,14 @@ type FrameSource interface {
 // MatrixSource replays a recorded frame matrix, optionally pacing to
 // real time and looping forever.
 type MatrixSource struct {
-	m      *rf.FrameMatrix
-	next   int
-	pace   bool
-	loop   bool
-	ticker *time.Ticker
+	m    *rf.FrameMatrix
+	next int
+	pace bool
+	loop bool
+
+	mu      sync.Mutex
+	ticker  *time.Ticker
+	started bool
 }
 
 // NewMatrixSource wraps a frame matrix. With pace true, NextFrame waits
@@ -42,14 +48,25 @@ func NewMatrixSource(m *rf.FrameMatrix, pace, loop bool) *MatrixSource {
 	return s
 }
 
-// SetSpeed re-paces the source at speed times real time (only
-// meaningful for a paced source; call before serving).
-func (s *MatrixSource) SetSpeed(speed float64) {
-	if s.ticker == nil || speed <= 0 {
-		return
+// SetSpeed re-paces the source at speed times real time. The contract
+// is strict: the source must be paced, speed must be positive, and
+// serving must not have started (re-pacing would race the frame loop),
+// otherwise SetSpeed returns an error and leaves the pacing unchanged.
+func (s *MatrixSource) SetSpeed(speed float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ticker == nil {
+		return errors.New("transport: SetSpeed on an unpaced source")
+	}
+	if speed <= 0 {
+		return fmt.Errorf("transport: speed must be positive, got %g", speed)
+	}
+	if s.started {
+		return errors.New("transport: SetSpeed after serving started")
 	}
 	s.ticker.Stop()
 	s.ticker = time.NewTicker(time.Duration(float64(time.Second) / (s.m.FrameRate * speed)))
+	return nil
 }
 
 // Hello implements FrameSource.
@@ -63,14 +80,18 @@ func (s *MatrixSource) Hello() StreamHello {
 
 // NextFrame implements FrameSource.
 func (s *MatrixSource) NextFrame() ([]complex128, error) {
+	s.mu.Lock()
+	s.started = true
+	ticker := s.ticker
+	s.mu.Unlock()
 	if s.next >= s.m.NumFrames() {
 		if !s.loop {
 			return nil, fmt.Errorf("transport: capture exhausted after %d frames", s.next)
 		}
 		s.next = 0
 	}
-	if s.ticker != nil {
-		<-s.ticker.C
+	if ticker != nil {
+		<-ticker.C
 	}
 	frame := s.m.Data[s.next]
 	s.next++
@@ -79,6 +100,8 @@ func (s *MatrixSource) NextFrame() ([]complex128, error) {
 
 // Close releases the pacing ticker.
 func (s *MatrixSource) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.ticker != nil {
 		s.ticker.Stop()
 	}
@@ -95,11 +118,20 @@ type Server struct {
 	// finite replay sources that would otherwise drain before the
 	// first client arrives.
 	minClients int
+	startSeq   uint64
 
 	mu      sync.Mutex
 	clients map[*client]struct{}
 	seq     uint64
 	epoch   time.Time
+
+	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
+	mFramesPumped *obs.Counter
+	mSlowDrops    *obs.Counter
+	mBytesWritten *obs.Counter
+	mConnects     *obs.Counter
+	gClients      *obs.Gauge
+	gQueueDepth   *obs.Gauge
 }
 
 type client struct {
@@ -124,17 +156,62 @@ func NewServer(src FrameSource, logger *log.Logger) *Server {
 	}
 }
 
+// SetRegistry attaches an observability registry. Call before Serve.
+// Exported metrics:
+//
+//	transport_server_frames_pumped_total    frames read from the source
+//	transport_server_slow_client_drops_total clients cut for falling behind
+//	transport_server_bytes_written_total    wire bytes sent to clients
+//	transport_server_connects_total         client connections accepted
+//	transport_server_clients                current subscriber count
+//	transport_server_max_queue_depth        deepest per-client backlog at
+//	                                        the last broadcast
+func (s *Server) SetRegistry(r *obs.Registry) {
+	s.mFramesPumped = r.Counter("transport_server_frames_pumped_total")
+	s.mSlowDrops = r.Counter("transport_server_slow_client_drops_total")
+	s.mBytesWritten = r.Counter("transport_server_bytes_written_total")
+	s.mConnects = r.Counter("transport_server_connects_total")
+	s.gClients = r.Gauge("transport_server_clients")
+	s.gQueueDepth = r.Gauge("transport_server_max_queue_depth")
+}
+
+// SetStartSeq makes the stream's sequence numbers begin at n instead of
+// zero — a daemon that persists its frame counter across restarts uses
+// this so downstream gap accounting sees the outage as missed frames
+// rather than a new epoch. Call before Serve.
+func (s *Server) SetStartSeq(n uint64) { s.startSeq = n }
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
+// countingWriter forwards to an io.Writer while accumulating the byte
+// total in a (possibly nil) counter.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}
+
 // Serve accepts clients on ln and pumps frames until the context is
-// cancelled or the source fails. It always closes the listener.
+// cancelled or the source fails. It always closes the listener, and it
+// reaps its context watcher even when the pump exits on a source error
+// before cancellation.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-ctx.Done()
-		ln.Close()
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-done:
+		}
 	}()
 	go s.acceptLoop(ln)
 	return s.pump(ctx)
@@ -149,7 +226,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		c := &client{conn: conn, ch: make(chan Frame, clientQueue)}
 		s.mu.Lock()
 		s.clients[c] = struct{}{}
+		n := len(s.clients)
 		s.mu.Unlock()
+		s.mConnects.Inc()
+		s.gClients.Set(float64(n))
 		s.logger.Printf("client connected: %s", conn.RemoteAddr())
 		go s.writeLoop(c)
 	}
@@ -157,11 +237,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) writeLoop(c *client) {
 	defer s.drop(c)
-	if err := EncodeHello(c.conn, s.src.Hello()); err != nil {
+	w := countingWriter{w: c.conn, c: s.mBytesWritten}
+	if err := EncodeHello(w, s.src.Hello()); err != nil {
 		s.logger.Printf("hello to %s failed: %v", c.conn.RemoteAddr(), err)
 		return
 	}
-	enc := NewEncoder(c.conn)
+	enc := NewEncoder(w)
 	for f := range c.ch {
 		if err := enc.Encode(f); err != nil {
 			s.logger.Printf("send to %s failed: %v", c.conn.RemoteAddr(), err)
@@ -182,7 +263,9 @@ func (s *Server) drop(c *client) {
 		delete(s.clients, c)
 		close(c.ch)
 	}
+	n := len(s.clients)
 	s.mu.Unlock()
+	s.gClients.Set(float64(n))
 	c.conn.Close()
 }
 
@@ -213,11 +296,12 @@ func (s *Server) pump(ctx context.Context) error {
 			return fmt.Errorf("transport: source: %w", err)
 		}
 		f := Frame{
-			Seq:             s.seq,
+			Seq:             s.startSeq + s.seq,
 			TimestampMicros: uint64(time.Since(s.epoch).Microseconds()),
 			Bins:            append([]complex128(nil), bins...),
 		}
 		s.seq++
+		s.mFramesPumped.Inc()
 		s.broadcast(f)
 	}
 }
@@ -225,9 +309,13 @@ func (s *Server) pump(ctx context.Context) error {
 func (s *Server) broadcast(f Frame) {
 	s.mu.Lock()
 	var stale []*client
+	maxDepth := 0
 	for c := range s.clients {
 		select {
 		case c.ch <- f:
+			if d := len(c.ch); d > maxDepth {
+				maxDepth = d
+			}
 		default:
 			// Client cannot keep up with the radio; cut it loose.
 			stale = append(stale, c)
@@ -236,9 +324,15 @@ func (s *Server) broadcast(f Frame) {
 	for _, c := range stale {
 		delete(s.clients, c)
 		close(c.ch)
+		s.mSlowDrops.Inc()
 		s.logger.Printf("dropping slow client %s", c.conn.RemoteAddr())
 	}
+	n := len(s.clients)
 	s.mu.Unlock()
+	s.gQueueDepth.Set(float64(maxDepth))
+	if len(stale) > 0 {
+		s.gClients.Set(float64(n))
+	}
 }
 
 func (s *Server) closeAll() {
@@ -248,6 +342,7 @@ func (s *Server) closeAll() {
 		close(c.ch)
 	}
 	s.mu.Unlock()
+	s.gClients.Set(0)
 }
 
 // NumClients reports the current subscriber count.

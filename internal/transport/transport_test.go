@@ -7,10 +7,12 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"blinkradar/internal/obs"
 	"blinkradar/internal/rf"
 )
 
@@ -281,6 +283,110 @@ func TestClientContextCancel(t *testing.T) {
 	err = client.Run(ctx, func(Frame) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+func TestServeReapsContextWatcher(t *testing.T) {
+	// Serve used to leak its context-watcher goroutine whenever the
+	// pump exited on a source error before cancellation. Run many
+	// short-lived serves against a never-cancelled context: the
+	// goroutine count must come back down.
+	base := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		src := NewMatrixSource(testMatrix(t, 1), false, false)
+		server := NewServer(src, nil)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := server.Serve(context.Background(), ln); err == nil {
+			t.Fatal("serve over a finite source must return the source error")
+		}
+		src.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d: context watchers leaked",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSetSpeedContract(t *testing.T) {
+	m := testMatrix(t, 5)
+	// Unpaced sources cannot be re-paced.
+	unpaced := NewMatrixSource(m, false, true)
+	defer unpaced.Close()
+	if err := unpaced.SetSpeed(2); err == nil {
+		t.Fatal("SetSpeed on an unpaced source must error")
+	}
+	// Invalid speeds are rejected.
+	paced := NewMatrixSource(m, true, true)
+	defer paced.Close()
+	if err := paced.SetSpeed(0); err == nil {
+		t.Fatal("SetSpeed(0) must error")
+	}
+	if err := paced.SetSpeed(-1); err == nil {
+		t.Fatal("negative speed must error")
+	}
+	// Before serving it succeeds...
+	if err := paced.SetSpeed(100); err != nil {
+		t.Fatalf("SetSpeed before serving: %v", err)
+	}
+	// ...and after the first frame is consumed it is refused.
+	if _, err := paced.NextFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := paced.SetSpeed(2); err == nil {
+		t.Fatal("SetSpeed after serving started must error")
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	m := testMatrix(t, 20)
+	src := NewMatrixSource(m, false, false)
+	defer src.Close()
+	server := NewServer(src, nil)
+	server.SetMinClients(1)
+	reg := obs.NewRegistry()
+	server.SetRegistry(reg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(ctx, ln) }()
+
+	client, err := Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	clientReg := obs.NewRegistry()
+	client.SetRegistry(clientReg)
+	var frames int
+	client.Run(ctx, func(Frame) error { frames++; return nil })
+	<-done
+
+	if got := reg.Counter("transport_server_frames_pumped_total").Value(); got != 20 {
+		t.Errorf("frames pumped = %d, want 20", got)
+	}
+	if got := reg.Counter("transport_server_connects_total").Value(); got != 1 {
+		t.Errorf("connects = %d, want 1", got)
+	}
+	if got := reg.Counter("transport_server_bytes_written_total").Value(); got == 0 {
+		t.Error("bytes written = 0, want > 0")
+	}
+	if got := clientReg.Counter("transport_client_frames_received_total").Value(); got != uint64(frames) {
+		t.Errorf("client frames metric = %d, received %d", got, frames)
+	}
+	if got := clientReg.Counter("transport_client_seq_gaps_total").Value(); got != 0 {
+		t.Errorf("seq gaps = %d on an unbroken stream", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package blinkradar
 import (
 	"fmt"
 
+	"blinkradar/internal/obs"
 	"blinkradar/internal/vitals"
 )
 
@@ -22,6 +23,11 @@ type Monitor struct {
 
 	events []BlinkEvent
 	frame  int
+
+	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
+	mAssessments *obs.Counter
+	mDrowsy      *obs.Counter
+	gBlinkRate   *obs.Gauge
 }
 
 // Assessment is the monitor's rolling judgement for the latest
@@ -68,6 +74,20 @@ func NewMonitor(cfg Config, numBins int, frameRate, windowSec float64, opts ...O
 		vitals:    vm,
 		vitalsBin: -1,
 	}, nil
+}
+
+// SetRegistry attaches an observability registry to the monitor and
+// its detector. Call before feeding frames. Exported metrics (plus the
+// core_* set from the Detector):
+//
+//	monitor_assessments_total    completed window assessments
+//	monitor_drowsy_total         windows classified drowsy
+//	monitor_window_blink_rate    blinks/min of the latest window
+func (m *Monitor) SetRegistry(r *obs.Registry) {
+	m.mAssessments = r.Counter("monitor_assessments_total")
+	m.mDrowsy = r.Counter("monitor_drowsy_total")
+	m.gBlinkRate = r.Gauge("monitor_window_blink_rate")
+	m.det.SetRegistry(r)
 }
 
 // Calibrate trains the per-driver drowsiness model from labelled
@@ -140,6 +160,11 @@ func (m *Monitor) assess() (Assessment, error) {
 		a.Posterior = posterior
 		a.Calibrated = true
 	}
+	m.mAssessments.Inc()
+	if a.Drowsy {
+		m.mDrowsy.Inc()
+	}
+	m.gBlinkRate.Set(f.BlinkRate)
 	// Trim events that can no longer affect any window.
 	cutoff := end - 2*m.windowSec
 	trimmed := m.events[:0]
