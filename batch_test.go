@@ -1,0 +1,83 @@
+package blinkradar_test
+
+import (
+	"testing"
+
+	"blinkradar"
+)
+
+// batchCaptures generates n short, distinct captures for batch tests.
+func batchCaptures(t testing.TB, n int) []*blinkradar.FrameMatrix {
+	t.Helper()
+	captures := make([]*blinkradar.FrameMatrix, n)
+	for i := range captures {
+		spec := blinkradar.DefaultSpec()
+		spec.Subject = blinkradar.NewSubject(i + 1)
+		spec.Duration = 20
+		spec.Seed = int64(100 + i)
+		capture, err := blinkradar.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		captures[i] = capture.Frames
+	}
+	return captures
+}
+
+// TestDetectBatchMatchesSerialDetect runs the concurrent batch API over
+// several captures (exercised under -race in CI) and checks every
+// capture's events are identical to a plain serial Detect.
+func TestDetectBatchMatchesSerialDetect(t *testing.T) {
+	cfg := blinkradar.DefaultConfig()
+	captures := batchCaptures(t, 5)
+
+	results, err := blinkradar.DetectBatch(cfg, captures, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(captures) {
+		t.Fatalf("got %d results, want %d", len(results), len(captures))
+	}
+	for i, m := range captures {
+		want, det, err := blinkradar.Detect(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[i]
+		if got.Err != nil {
+			t.Fatalf("capture %d: %v", i, got.Err)
+		}
+		if len(got.Events) != len(want) {
+			t.Fatalf("capture %d: %d events, serial %d", i, len(got.Events), len(want))
+		}
+		for j := range want {
+			if got.Events[j] != want[j] {
+				t.Fatalf("capture %d event %d = %+v, serial %+v", i, j, got.Events[j], want[j])
+			}
+		}
+		if got.Restarts != det.Restarts() || got.BinSwitches != det.BinSwitches() {
+			t.Fatalf("capture %d diagnostics (%d,%d), serial (%d,%d)",
+				i, got.Restarts, got.BinSwitches, det.Restarts(), det.BinSwitches())
+		}
+	}
+}
+
+func TestDetectBatchNilAndEmpty(t *testing.T) {
+	cfg := blinkradar.DefaultConfig()
+	results, err := blinkradar.DetectBatch(cfg, nil, 0)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: results=%d err=%v", len(results), err)
+	}
+	captures := batchCaptures(t, 2)
+	captures[1] = nil
+	results, err = blinkradar.DetectBatch(cfg, captures, 2)
+	if err == nil {
+		t.Fatal("nil capture must surface an error")
+	}
+	if results[0].Err != nil {
+		t.Fatalf("healthy capture failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("nil capture's result must carry the error")
+	}
+}

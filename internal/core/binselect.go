@@ -63,29 +63,74 @@ func ScoreBin(bin int, series []complex128) BinScore {
 	return s
 }
 
+// BinSeries supplies the recent background-subtracted slow-time samples
+// of one range bin. Implementations fill buf (growing it when its
+// capacity is too small) and return the filled slice, so callers that
+// score many bins can reuse one window buffer per worker instead of
+// allocating per bin. Implementations must be safe for concurrent calls
+// with distinct buffers.
+type BinSeries func(bin int, buf []complex128) []complex128
+
 // SelectBin picks the eye's range bin from per-bin slow-time windows.
-// series(bin) must return the recent background-subtracted samples of
-// the bin. Bins below guard are excluded (antenna direct path). The
-// topK highest-variance candidates are arc-scored, and the best
-// combined score wins. It returns the winning score and the evaluated
-// candidates sorted by descending score.
-func SelectBin(series func(bin int) []complex128, numBins, guard, topK int) (BinScore, []BinScore, error) {
+// Bins below guard are excluded (antenna direct path). The topK
+// highest-variance candidates are arc-scored, and the best combined
+// score wins. It returns the winning score and the evaluated candidates
+// sorted by descending score. topK must be positive.
+func SelectBin(series BinSeries, numBins, guard, topK int) (BinScore, []BinScore, error) {
+	return SelectBinParallel(series, numBins, guard, topK, 1)
+}
+
+// SelectBinParallel is SelectBin with the per-bin variance pass and the
+// per-candidate arc scoring fanned out across a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). Every bin's score is a pure
+// function of its series and ties are broken by bin index, so the
+// winner is identical to the serial path for any worker count.
+func SelectBinParallel(series BinSeries, numBins, guard, topK, workers int) (BinScore, []BinScore, error) {
 	if numBins <= guard {
 		return BinScore{}, nil, fmt.Errorf("core: no bins beyond guard (%d bins, guard %d)", numBins, guard)
 	}
-	variances := make([]BinScore, 0, numBins-guard)
-	for b := guard; b < numBins; b++ {
-		variances = append(variances, BinScore{Bin: b, Variance: iq.Variance2D(series(b))})
+	if topK <= 0 {
+		return BinScore{}, nil, fmt.Errorf("core: candidate count must be positive, got %d", topK)
 	}
-	sort.Slice(variances, func(i, j int) bool { return variances[i].Variance > variances[j].Variance })
+	variances := make([]BinScore, numBins-guard)
+	err := parallelChunks(len(variances), workers, func(lo, hi int) error {
+		var buf []complex128
+		for i := lo; i < hi; i++ {
+			buf = series(guard+i, buf)
+			variances[i] = BinScore{Bin: guard + i, Variance: iq.Variance2D(buf)}
+		}
+		return nil
+	})
+	if err != nil {
+		return BinScore{}, nil, err
+	}
+	sort.Slice(variances, func(i, j int) bool {
+		if variances[i].Variance != variances[j].Variance {
+			return variances[i].Variance > variances[j].Variance
+		}
+		return variances[i].Bin < variances[j].Bin
+	})
 	if topK > len(variances) {
 		topK = len(variances)
 	}
-	candidates := make([]BinScore, 0, topK)
-	for _, v := range variances[:topK] {
-		candidates = append(candidates, ScoreBin(v.Bin, series(v.Bin)))
+	candidates := make([]BinScore, topK)
+	err = parallelChunks(topK, workers, func(lo, hi int) error {
+		var buf []complex128
+		for i := lo; i < hi; i++ {
+			buf = series(variances[i].Bin, buf)
+			candidates[i] = ScoreBin(variances[i].Bin, buf)
+		}
+		return nil
+	})
+	if err != nil {
+		return BinScore{}, nil, err
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Score > candidates[j].Score })
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Score != candidates[j].Score {
+			return candidates[i].Score > candidates[j].Score
+		}
+		return candidates[i].Bin < candidates[j].Bin
+	})
 	best := candidates[0]
 	if best.Score <= 0 {
 		// No arc-like bin: fall back to raw variance (still better
@@ -96,24 +141,28 @@ func SelectBin(series func(bin int) []complex128, numBins, guard, topK int) (Bin
 }
 
 // SelectBinMatrix is the offline convenience: selects the eye bin from
-// the trailing window of a preprocessed frame matrix.
+// the trailing window of a preprocessed frame matrix, scoring
+// candidates across cfg.Parallelism workers.
 func SelectBinMatrix(cfg Config, m *rf.FrameMatrix) (BinScore, error) {
 	window := cfg.SelectWindowFrames
 	if window > m.NumFrames() {
 		window = m.NumFrames()
 	}
 	start := m.NumFrames() - window
-	best, _, err := SelectBin(func(bin int) []complex128 {
-		out := make([]complex128, window)
-		for k := 0; k < window; k++ {
-			out[k] = m.Data[start+k][bin]
+	best, _, err := SelectBinParallel(func(bin int, buf []complex128) []complex128 {
+		if cap(buf) < window {
+			buf = make([]complex128, window)
 		}
-		return out
-	}, m.NumBins(), cfg.GuardBins, cfg.CandidateTopK)
+		buf = buf[:window]
+		for k := 0; k < window; k++ {
+			buf[k] = m.Data[start+k][bin]
+		}
+		return buf
+	}, m.NumBins(), cfg.GuardBins, cfg.CandidateTopK, cfg.Parallelism)
 	return best, err
 }
 
-// trimmedRMSE returns the RMS radial residual of the best 80%% of
+// trimmedRMSE returns the RMS radial residual of the best 80% of
 // samples.
 func trimmedRMSE(series []complex128, c iq.Circle) float64 {
 	if len(series) == 0 {
@@ -164,18 +213,31 @@ func (r *binRing) push(frame []complex128) {
 	}
 }
 
-// series returns the stored samples of one bin, oldest first.
+// series returns the stored samples of one bin, oldest first, in a
+// fresh slice.
 func (r *binRing) series(bin int) []complex128 {
-	out := make([]complex128, 0, r.count)
+	return r.seriesInto(bin, nil)
+}
+
+// seriesInto fills buf with the stored samples of one bin, oldest
+// first, growing it only when its capacity is too small, and returns
+// the filled slice. It satisfies the BinSeries contract: concurrent
+// calls with distinct buffers are safe as long as no frame is pushed
+// meanwhile.
+func (r *binRing) seriesInto(bin int, buf []complex128) []complex128 {
+	if cap(buf) < r.count {
+		buf = make([]complex128, r.count)
+	}
+	buf = buf[:r.count]
 	start := r.pos - r.count
 	for i := 0; i < r.count; i++ {
 		idx := start + i
 		if idx < 0 {
 			idx += r.window
 		}
-		out = append(out, r.buf[(idx%r.window)*r.bins+bin])
+		buf[i] = r.buf[(idx%r.window)*r.bins+bin]
 	}
-	return out
+	return buf
 }
 
 // latest returns the most recent sample of one bin (zero if empty).

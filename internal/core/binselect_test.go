@@ -10,8 +10,10 @@ import (
 
 // seriesSets builds synthetic per-bin slow-time clouds:
 // bin 0: thermal noise; bin 1: short vital-sign arc; bin 2: full-circle
-// chest-like rotation; bin 3: strong static leak (near-constant).
-func seriesSets(n int, seed int64) func(bin int) []complex128 {
+// chest-like rotation; bin 3: strong static leak (near-constant). The
+// returned BinSeries copies into buf, exercising the buffer-reuse
+// contract of the selection fan-out.
+func seriesSets(n int, seed int64) BinSeries {
 	rng := rand.New(rand.NewSource(seed))
 	noise := func(sigma float64) complex128 {
 		return complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
@@ -28,15 +30,25 @@ func seriesSets(n int, seed int64) func(bin int) []complex128 {
 		bins[2][k] = cmplx.Rect(0.9, 2*math.Pi*0.25*tt*12) + noise(0.005)
 		bins[3][k] = complex(2.5, -1) + noise(0.005)
 	}
-	return func(bin int) []complex128 { return bins[bin] }
+	return func(bin int, buf []complex128) []complex128 {
+		if cap(buf) < n {
+			buf = make([]complex128, n)
+		}
+		buf = buf[:n]
+		copy(buf, bins[bin])
+		return buf
+	}
 }
+
+// at adapts a BinSeries for single-bin calls in tests.
+func at(series BinSeries, bin int) []complex128 { return series(bin, nil) }
 
 func TestScoreBinPrefersArc(t *testing.T) {
 	series := seriesSets(300, 1)
-	noiseScore := ScoreBin(0, series(0))
-	arcScore := ScoreBin(1, series(1))
-	chestScore := ScoreBin(2, series(2))
-	staticScore := ScoreBin(3, series(3))
+	noiseScore := ScoreBin(0, at(series, 0))
+	arcScore := ScoreBin(1, at(series, 1))
+	chestScore := ScoreBin(2, at(series, 2))
+	staticScore := ScoreBin(3, at(series, 3))
 	if arcScore.Score <= noiseScore.Score {
 		t.Fatalf("arc score %g not above noise %g", arcScore.Score, noiseScore.Score)
 	}
@@ -78,6 +90,128 @@ func TestSelectBinGuard(t *testing.T) {
 	}
 	if best.Bin < 2 {
 		t.Fatalf("guarded bin %d selected", best.Bin)
+	}
+}
+
+func TestSelectBinRejectsNonPositiveTopK(t *testing.T) {
+	series := seriesSets(300, 4)
+	// Regression: topK <= 0 used to index an empty candidate slice and
+	// panic; it must be a loud error instead.
+	for _, topK := range []int{0, -1, -100} {
+		if _, _, err := SelectBin(series, 4, 0, topK); err == nil {
+			t.Fatalf("topK=%d must be rejected", topK)
+		}
+	}
+}
+
+func TestSelectBinSingleBinBeyondGuard(t *testing.T) {
+	series := seriesSets(300, 5)
+	// numBins == guard+1 leaves exactly one candidate; selection must
+	// still work for any topK.
+	best, candidates, err := SelectBin(series, 4, 3, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Bin != 3 {
+		t.Fatalf("selected bin %d, want the only unguarded bin 3", best.Bin)
+	}
+	if len(candidates) != 1 {
+		t.Fatalf("got %d candidates, want 1", len(candidates))
+	}
+}
+
+func TestSelectBinAllZeroVariance(t *testing.T) {
+	// Identical constant samples in every bin: zero variance, zero
+	// scores. Selection must fall back to the variance ranking without
+	// panicking.
+	flat := func(bin int, buf []complex128) []complex128 {
+		if cap(buf) < 50 {
+			buf = make([]complex128, 50)
+		}
+		buf = buf[:50]
+		for i := range buf {
+			buf[i] = complex(1, -2)
+		}
+		return buf
+	}
+	best, candidates, err := SelectBin(flat, 6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Bin < 2 {
+		t.Fatalf("guarded bin %d selected", best.Bin)
+	}
+	if best.Variance != 0 || best.Score != 0 {
+		t.Fatalf("flat windows must yield zero variance and score, got %+v", best)
+	}
+	if len(candidates) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(candidates))
+	}
+}
+
+func TestSelectBinParallelMatchesSerial(t *testing.T) {
+	// The worker-pool fan-out must pick the same winner and produce the
+	// same ranked candidates as the serial path, for any worker count.
+	const bins, window = 64, 200
+	rng := rand.New(rand.NewSource(99))
+	data := make([][]complex128, bins)
+	for b := range data {
+		data[b] = make([]complex128, window)
+		amp := 0.01 + rng.Float64()
+		for k := range data[b] {
+			ph := 0.4 * math.Sin(2*math.Pi*0.25*float64(k)/25)
+			data[b][k] = cmplx.Rect(amp, ph) + complex(rng.NormFloat64()*0.004, rng.NormFloat64()*0.004)
+		}
+	}
+	series := func(bin int, buf []complex128) []complex128 {
+		if cap(buf) < window {
+			buf = make([]complex128, window)
+		}
+		buf = buf[:window]
+		copy(buf, data[bin])
+		return buf
+	}
+	serialBest, serialCands, err := SelectBin(series, bins, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 7, 16, 100} {
+		best, cands, err := SelectBinParallel(series, bins, 4, 16, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if best != serialBest {
+			t.Fatalf("workers=%d: best %+v, serial %+v", workers, best, serialBest)
+		}
+		if len(cands) != len(serialCands) {
+			t.Fatalf("workers=%d: %d candidates, serial %d", workers, len(cands), len(serialCands))
+		}
+		for i := range cands {
+			if cands[i] != serialCands[i] {
+				t.Fatalf("workers=%d: candidate %d = %+v, serial %+v", workers, i, cands[i], serialCands[i])
+			}
+		}
+	}
+}
+
+func TestBinRingSeriesInto(t *testing.T) {
+	r := newBinRing(2, 8)
+	for i := 0; i < 5; i++ {
+		r.push([]complex128{complex(float64(i), 0), complex(0, float64(i))})
+	}
+	buf := make([]complex128, 0, 8)
+	got := r.seriesInto(1, buf)
+	if len(got) != 5 {
+		t.Fatalf("got %d samples, want 5", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("seriesInto must reuse the provided buffer when it fits")
+	}
+	want := r.series(1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 

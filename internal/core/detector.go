@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime/metrics"
 	"time"
 
 	"blinkradar/internal/obs"
@@ -46,6 +47,7 @@ type Detector struct {
 	distTrace  []float64
 	thrTrace   []float64
 	scratch    []complex128
+	seriesBuf  []complex128
 	eventCount int
 
 	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
@@ -54,7 +56,23 @@ type Detector struct {
 	mRestarts    *obs.Counter
 	mBinSwitches *obs.Counter
 	mLatency     *obs.Histogram
+	mStagePre    *obs.Histogram
+	mStageSelect *obs.Histogram
+	mStageTrack  *obs.Histogram
+	gAllocs      *obs.Gauge
+
+	// Allocation sampling state (process-wide heap-object deltas from
+	// runtime/metrics, averaged over allocSampleEvery frames).
+	allocSample     []metrics.Sample
+	allocPrev       uint64
+	allocPrevValid  bool
+	framesSinceSamp int
 }
+
+// allocSampleEvery is how many frames pass between allocs/frame gauge
+// updates; reading runtime metrics per frame would cost more than the
+// hot path it watches.
+const allocSampleEvery = 256
 
 // NewDetector builds a detector for frames with numBins range bins at
 // frameRate frames per second. Options override DefaultConfig-derived
@@ -108,17 +126,47 @@ func (d *Detector) Config() Config { return d.cfg }
 // SetRegistry attaches an observability registry. Call before feeding
 // frames. Exported metrics:
 //
-//	core_frames_total          frames consumed
-//	core_blinks_total          confirmed blink detections
-//	core_restarts_total        motion-triggered pipeline restarts
-//	core_bin_switches_total    adaptive bin migrations
-//	core_frame_latency_seconds per-frame processing latency histogram
+//	core_frames_total            frames consumed
+//	core_blinks_total            confirmed blink detections
+//	core_restarts_total          motion-triggered pipeline restarts
+//	core_bin_switches_total      adaptive bin migrations
+//	core_frame_latency_seconds   per-frame processing latency histogram
+//	core_stage_preprocess_seconds  preprocessing stage latency
+//	core_stage_select_seconds    bin-selection pass latency (sparse)
+//	core_stage_track_seconds     tracker+LEVD stage latency
+//	core_allocs_per_frame        process heap objects allocated per frame,
+//	                             sampled every allocSampleEvery frames
 func (d *Detector) SetRegistry(r *obs.Registry) {
 	d.mFrames = r.Counter("core_frames_total")
 	d.mBlinks = r.Counter("core_blinks_total")
 	d.mRestarts = r.Counter("core_restarts_total")
 	d.mBinSwitches = r.Counter("core_bin_switches_total")
 	d.mLatency = r.Histogram("core_frame_latency_seconds", obs.DefLatencyBuckets())
+	d.mStagePre = r.Histogram("core_stage_preprocess_seconds", obs.DefLatencyBuckets())
+	d.mStageSelect = r.Histogram("core_stage_select_seconds", obs.DefLatencyBuckets())
+	d.mStageTrack = r.Histogram("core_stage_track_seconds", obs.DefLatencyBuckets())
+	d.gAllocs = r.Gauge("core_allocs_per_frame")
+	d.allocSample = []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+}
+
+// sampleAllocs updates the allocs/frame gauge from the process-wide
+// heap-object counter. The delta is averaged over the sampling window,
+// so concurrent allocators show up as shared background noise rather
+// than per-detector truth — good enough to catch a hot-path regression
+// in the field.
+func (d *Detector) sampleAllocs() {
+	d.framesSinceSamp++
+	if d.framesSinceSamp < allocSampleEvery {
+		return
+	}
+	metrics.Read(d.allocSample)
+	now := d.allocSample[0].Value.Uint64()
+	if d.allocPrevValid {
+		d.gAllocs.Set(float64(now-d.allocPrev) / float64(d.framesSinceSamp))
+	}
+	d.allocPrev = now
+	d.allocPrevValid = true
+	d.framesSinceSamp = 0
 }
 
 // EnableTrace records the distance waveform and threshold per frame for
@@ -168,14 +216,22 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	if len(frame) != d.bins {
 		return BlinkEvent{}, false, fmt.Errorf("core: frame has %d bins, detector configured for %d", len(frame), d.bins)
 	}
-	if d.mLatency != nil {
-		start := time.Now()
-		defer func() { d.mLatency.Observe(time.Since(start).Seconds()) }()
+	timed := d.mLatency != nil
+	var start time.Time
+	if timed {
+		start = time.Now()
+		defer func() {
+			d.mLatency.Observe(time.Since(start).Seconds())
+			d.sampleAllocs()
+		}()
 	}
 	d.mFrames.Inc()
 	copy(d.scratch, frame)
 	if err := d.pre.Process(d.scratch); err != nil {
 		return BlinkEvent{}, false, err
+	}
+	if timed {
+		d.mStagePre.Observe(time.Since(start).Seconds())
 	}
 	d.ring.push(d.scratch)
 	d.frame++
@@ -188,8 +244,15 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 		return BlinkEvent{}, false, nil
 	}
 
+	var trackStart time.Time
+	if timed {
+		trackStart = time.Now()
+	}
 	dist, ok := d.tracker.Push(d.scratch[d.bin])
 	if !ok {
+		if timed {
+			d.mStageTrack.Observe(time.Since(trackStart).Seconds())
+		}
 		d.pushTrace(0)
 		return BlinkEvent{}, false, nil
 	}
@@ -205,6 +268,9 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	d.levd.SetFrozen(!d.matured && d.everMatured)
 	d.levd.SetFloor(d.cfg.MinThresholdFrac * d.tracker.Radius())
 	ev, fired := d.levd.Push(dist, d.frame)
+	if timed {
+		d.mStageTrack.Observe(time.Since(trackStart).Seconds())
+	}
 	d.pushTrace(dist)
 
 	d.checkMotionRestart(dist)
@@ -230,10 +296,32 @@ func (d *Detector) pushTrace(dist float64) {
 	d.thrTrace = append(d.thrTrace, d.levd.Threshold())
 }
 
+// runSelection scores all bins over the selection ring, fanned out
+// across cfg.Parallelism workers, and records the pass duration.
+func (d *Detector) runSelection() (BinScore, error) {
+	var start time.Time
+	if d.mStageSelect != nil {
+		start = time.Now()
+	}
+	best, _, err := SelectBinParallel(d.ring.seriesInto, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK, d.cfg.Parallelism)
+	if d.mStageSelect != nil {
+		d.mStageSelect.Observe(time.Since(start).Seconds())
+	}
+	return best, err
+}
+
+// seedTracker re-seeds the tracker from the ring history of the tracked
+// bin, reusing the detector's series scratch.
+func (d *Detector) seedTracker() {
+	d.seriesBuf = d.ring.seriesInto(d.bin, d.seriesBuf)
+	d.tracker.Reset()
+	d.tracker.Seed(tail(d.seriesBuf, d.cfg.FitWindowFrames))
+}
+
 // selectBin runs eye-bin identification over the selection ring and
 // seeds the tracker. reselect marks adaptive re-selection (keeps sigma).
 func (d *Detector) selectBin(reselect bool) {
-	best, _, err := SelectBin(d.ring.series, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK)
+	best, err := d.runSelection()
 	if err != nil || (best.Score <= 0 && best.Variance <= 0) {
 		return
 	}
@@ -241,8 +329,7 @@ func (d *Detector) selectBin(reselect bool) {
 	d.binScore = best.Score
 	d.haveBin = true
 	d.matured = false
-	d.tracker.Reset()
-	d.tracker.Seed(tail(d.ring.series(d.bin), d.cfg.FitWindowFrames))
+	d.seedTracker()
 	d.levd.Reset()
 	if reselect {
 		d.settleUntil = d.frame + d.cfg.SettleFrames
@@ -252,11 +339,12 @@ func (d *Detector) selectBin(reselect bool) {
 // maybeReselect migrates to a clearly better bin (adaptive update of
 // the observation position as the driver's posture drifts).
 func (d *Detector) maybeReselect() {
-	best, _, err := SelectBin(d.ring.series, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK)
+	best, err := d.runSelection()
 	if err != nil {
 		return
 	}
-	current := ScoreBin(d.bin, d.ring.series(d.bin))
+	d.seriesBuf = d.ring.seriesInto(d.bin, d.seriesBuf)
+	current := ScoreBin(d.bin, d.seriesBuf)
 	d.binScore = current.Score
 	if best.Bin == d.bin {
 		return
@@ -275,8 +363,7 @@ func (d *Detector) maybeReselect() {
 		d.binSwitches++
 		d.mBinSwitches.Inc()
 		d.matured = false
-		d.tracker.Reset()
-		d.tracker.Seed(tail(d.ring.series(d.bin), d.cfg.FitWindowFrames))
+		d.seedTracker()
 		d.levd.Reset()
 		d.settleUntil = d.frame + d.cfg.SettleFrames
 	}

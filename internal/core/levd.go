@@ -49,6 +49,13 @@ type LEVD struct {
 	fps          float64
 	refractory   float64
 	frozen       bool
+	// lagFrames is the group delay of the streaming distance-waveform
+	// smoother. Like dsp.FIRStream, a causal trailing window cannot be
+	// delay-compensated the way the offline FIRFilter.Apply path is, so
+	// features surface lagFrames after the samples that caused them;
+	// event timestamps subtract it to stay aligned with the offline
+	// (and camera ground-truth) timeline.
+	lagFrames float64
 
 	// Distance-waveform smoothing.
 	smoothBuf []float64
@@ -111,6 +118,7 @@ func NewLEVD(cfg Config, fps float64) (*LEVD, error) {
 		minThreshold: cfg.MinThreshold,
 		fps:          fps,
 		refractory:   cfg.RefractorySec,
+		lagFrames:    float64((cfg.DistanceSmoothFrames - 1) / 2),
 		smoothBuf:    make([]float64, cfg.DistanceSmoothFrames),
 		trendRing:    make([]float64, cfg.DetrendWindowFrames),
 		trendSorted:  make([]float64, 0, cfg.DetrendWindowFrames),
@@ -324,8 +332,13 @@ func (l *LEVD) onExtremum(e extremum) {
 	// Timestamp at the earlier extremum of the pair: for the closing
 	// edge that is the bump onset, for the reopening edge the bump
 	// apex — either lies within the blink interval, whereas the later
-	// extremum of a reopening pair can trail the blink entirely.
-	t := float64(l.extIdx) / l.fps
+	// extremum of a reopening pair can trail the blink entirely. The
+	// smoother's group delay is subtracted so streaming timestamps match
+	// the offline timeline (see the lagFrames field).
+	t := (float64(l.extIdx) - l.lagFrames) / l.fps
+	if t < 0 {
+		t = 0
+	}
 	// A trigger belongs to the current blink while it falls inside the
 	// refractory window of the last trigger or within the maximum
 	// plausible blink extent of the pending onset (a slow reopening

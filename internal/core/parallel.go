@@ -1,0 +1,58 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// resolveWorkers maps a parallelism knob to an effective worker count:
+// <= 0 selects GOMAXPROCS, and the count never exceeds the number of
+// work items.
+func resolveWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelChunks splits n items into contiguous chunks and runs fn on
+// each chunk from a bounded worker pool. With one worker (or one item)
+// fn runs inline on the calling goroutine, so serial callers pay no
+// scheduling or allocation overhead. The first error wins; all workers
+// finish before it is returned.
+func parallelChunks(n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = resolveWorkers(workers, n)
+	if workers == 1 {
+		return fn(0, n)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if err := fn(lo, hi); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -16,6 +16,7 @@ type Preprocessor struct {
 	background *BackgroundSubtractor
 	fir        *dsp.FIRFilter
 	scratch    []complex128
+	firScratch []complex128
 }
 
 // NewPreprocessor builds a preprocessor for profiles with the given
@@ -47,20 +48,31 @@ func NewPreprocessor(cfg Config, numBins int, frameRate float64) (*Preprocessor,
 		background: bg,
 		fir:        fir,
 		scratch:    make([]complex128, numBins),
+		firScratch: make([]complex128, numBins),
 	}, nil
 }
 
-// Process denoises and background-subtracts one frame in place.
+// Process denoises and background-subtracts one frame in place. All
+// intermediate buffers are owned by the preprocessor, so the per-frame
+// hot path performs no allocations.
 func (p *Preprocessor) Process(frame []complex128) error {
 	if len(frame) != len(p.scratch) {
 		return fmt.Errorf("core: frame has %d bins, preprocessor configured for %d", len(frame), len(p.scratch))
 	}
-	if p.fir != nil {
-		copy(frame, p.fir.ApplyComplex(frame))
-	}
-	smoothFastTime(frame, p.scratch, p.cfg.FastTimeSmoothBins)
+	p.denoise(frame)
 	p.background.Apply(frame)
 	return nil
+}
+
+// denoise runs the allocation-free noise-reduction cascade (fast-time
+// FIR plus smoothing) on one frame in place. The frame length must
+// already have been validated.
+func (p *Preprocessor) denoise(frame []complex128) {
+	if p.fir != nil {
+		p.fir.ApplyComplexInto(p.firScratch, frame) // lengths match by construction
+		copy(frame, p.firScratch)
+	}
+	smoothFastTime(frame, p.scratch, p.cfg.FastTimeSmoothBins)
 }
 
 // Reset clears the background estimate (used after a full restart).
@@ -103,6 +115,7 @@ func smoothFastTime(frame, scratch []complex128, width int) {
 type BackgroundSubtractor struct {
 	primeFrames int
 	seen        int
+	sum         []complex128
 	mean        []complex128
 }
 
@@ -121,6 +134,7 @@ func NewBackgroundSubtractor(numBins int, frameRate, tauSec float64) (*Backgroun
 	}
 	return &BackgroundSubtractor{
 		primeFrames: prime,
+		sum:         make([]complex128, numBins),
 		mean:        make([]complex128, numBins),
 	}, nil
 }
@@ -128,14 +142,22 @@ func NewBackgroundSubtractor(numBins int, frameRate, tauSec float64) (*Backgroun
 // Apply subtracts the background estimate from the frame in place.
 // During the priming window the frame is accumulated into the estimate
 // and the output is zeroed (the detector's cold start covers this
-// period anyway).
+// period anyway). The estimate divides by the frames actually
+// accumulated, so a Reset mid-prime or a capture that ends before the
+// window fills never leaves a partial sum scaled as if the window had
+// completed.
 func (b *BackgroundSubtractor) Apply(frame []complex128) {
 	if b.seen < b.primeFrames {
 		b.seen++
-		inv := complex(1/float64(b.primeFrames), 0)
 		for i, v := range frame {
-			b.mean[i] += v * inv
+			b.sum[i] += v
 			frame[i] = 0
+		}
+		if b.seen == b.primeFrames {
+			inv := complex(1/float64(b.seen), 0)
+			for i, s := range b.sum {
+				b.mean[i] = s * inv
+			}
 		}
 		return
 	}
@@ -144,16 +166,33 @@ func (b *BackgroundSubtractor) Apply(frame []complex128) {
 	}
 }
 
-// Background returns a copy of the current clutter estimate.
+// Primed reports whether the priming window has completed and the
+// clutter estimate is frozen.
+func (b *BackgroundSubtractor) Primed() bool { return b.seen >= b.primeFrames }
+
+// Background returns a copy of the current clutter estimate. Before the
+// priming window completes it is the mean of the frames seen so far
+// (zeros when none), not the partial sum a full window would produce.
 func (b *BackgroundSubtractor) Background() []complex128 {
 	out := make([]complex128, len(b.mean))
-	copy(out, b.mean)
+	if b.Primed() {
+		copy(out, b.mean)
+		return out
+	}
+	if b.seen == 0 {
+		return out
+	}
+	inv := complex(1/float64(b.seen), 0)
+	for i, s := range b.sum {
+		out[i] = s * inv
+	}
 	return out
 }
 
 // Reset clears the clutter estimate so the next frames re-prime it.
 func (b *BackgroundSubtractor) Reset() {
-	for i := range b.mean {
+	for i := range b.sum {
+		b.sum[i] = 0
 		b.mean[i] = 0
 	}
 	b.seen = 0
@@ -161,30 +200,103 @@ func (b *BackgroundSubtractor) Reset() {
 
 // PreprocessMatrix applies the full preprocessing chain to a copy of
 // the matrix and returns it, leaving the input untouched. This is the
-// offline convenience used by experiments and figures.
+// offline convenience used by experiments and figures. The denoising
+// stage fans out across cfg.Parallelism workers; the result is
+// identical to a serial pass.
 func PreprocessMatrix(cfg Config, m *rf.FrameMatrix) (*rf.FrameMatrix, error) {
-	p, err := NewPreprocessor(cfg, m.NumBins(), m.FrameRate)
-	if err != nil {
+	return PreprocessMatrixParallel(cfg, m, cfg.Parallelism)
+}
+
+// PreprocessMatrixParallel is PreprocessMatrix with an explicit worker
+// count (<= 0 selects GOMAXPROCS). The per-frame noise-reduction
+// cascade is embarrassingly parallel, so frames are denoised in chunks
+// by a bounded worker pool, each worker reusing its own scratch
+// buffers; the stateful background subtraction then runs as a cheap
+// serial pass in frame order. The output is bit-identical to the
+// serial path regardless of the worker count.
+func PreprocessMatrixParallel(cfg Config, m *rf.FrameMatrix, workers int) (*rf.FrameMatrix, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	out := m.Clone()
-	for _, frame := range out.Data {
-		if err := p.Process(frame); err != nil {
-			return nil, err
+	frames := out.Data
+	denoise := func(lo, hi int) error {
+		p, err := NewPreprocessor(cfg, m.NumBins(), m.FrameRate)
+		if err != nil {
+			return err
 		}
+		for _, frame := range frames[lo:hi] {
+			p.denoise(frame)
+		}
+		return nil
+	}
+	if err := parallelChunks(len(frames), workers, denoise); err != nil {
+		return nil, err
+	}
+	bg, err := NewBackgroundSubtractor(m.NumBins(), m.FrameRate, cfg.BackgroundTauSec)
+	if err != nil {
+		return nil, err
+	}
+	for _, frame := range frames {
+		bg.Apply(frame)
 	}
 	return out, nil
+}
+
+// Cascade is the reusable form of the paper's Fig. 7 noise-reduction
+// cascade: an order-N Hamming-window low-pass FIR followed by a
+// moving-average smoother. Construct once, then Apply repeatedly with
+// caller-owned buffers — the hot path performs no allocations. Not safe
+// for concurrent use (the scratch buffer is shared across calls).
+type Cascade struct {
+	fir     *dsp.FIRFilter
+	smooth  int
+	scratch []float64
+}
+
+// NewCascade designs the cascade's FIR stage once so repeated
+// applications avoid redesign and window allocations.
+func NewCascade(order int, cutoff float64, smooth int) (*Cascade, error) {
+	fir, err := dsp.LowPassFIR(order, cutoff, dsp.Hamming)
+	if err != nil {
+		return nil, err
+	}
+	if smooth <= 0 {
+		return nil, fmt.Errorf("core: smoothing window must be positive, got %d", smooth)
+	}
+	return &Cascade{fir: fir, smooth: smooth}, nil
+}
+
+// Apply runs the cascade over x into dst (same length; dst may alias x
+// since the FIR stage writes through the internal scratch).
+func (c *Cascade) Apply(dst, x []float64) error {
+	if len(dst) != len(x) {
+		return fmt.Errorf("core: destination has %d samples, input %d", len(dst), len(x))
+	}
+	if cap(c.scratch) < len(x) {
+		c.scratch = make([]float64, len(x))
+	}
+	mid := c.scratch[:len(x)]
+	if err := c.fir.ApplyInto(mid, x); err != nil {
+		return err
+	}
+	return dsp.MovingAverageInto(dst, mid, c.smooth)
 }
 
 // CascadeFilter applies the paper's Fig. 7 noise-reduction cascade — an
 // order-`order` Hamming-window low-pass FIR followed by a `smooth`-point
 // moving average — to a real-valued waveform. The paper applies it to
 // the received baseband fast-time signal; experiments use it to
-// regenerate the before/after SNR comparison.
+// regenerate the before/after SNR comparison. For repeated application
+// use Cascade, which reuses its filter design and scratch.
 func CascadeFilter(x []float64, order int, cutoff float64, smooth int) ([]float64, error) {
-	fir, err := dsp.LowPassFIR(order, cutoff, dsp.Hamming)
+	c, err := NewCascade(order, cutoff, smooth)
 	if err != nil {
 		return nil, err
 	}
-	return dsp.MovingAverage(fir.Apply(x), smooth)
+	out := make([]float64, len(x))
+	if err := c.Apply(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -159,6 +159,134 @@ func TestCascadeFilterImprovesSNR(t *testing.T) {
 	}
 }
 
+func TestBackgroundSubtractorPartialPriming(t *testing.T) {
+	// A capture shorter than the priming window must report the mean of
+	// the frames actually seen, not a partial sum scaled by the full
+	// window length (the old estimator skewed exactly this way).
+	bg, err := NewBackgroundSubtractor(2, 25, 1) // primes over 25 frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		f := []complex128{complex(float64(i), 0), 4 - 2i}
+		bg.Apply(f)
+	}
+	if bg.Primed() {
+		t.Fatal("5 of 25 frames must not complete priming")
+	}
+	got := bg.Background()
+	// Bin 0 saw 0..4, mean 2; bin 1 saw a constant.
+	if cmplx.Abs(got[0]-2) > 1e-12 {
+		t.Fatalf("partial background[0] = %v, want 2", got[0])
+	}
+	if cmplx.Abs(got[1]-(4-2i)) > 1e-12 {
+		t.Fatalf("partial background[1] = %v, want (4-2i)", got[1])
+	}
+	// Empty subtractor reports zeros, not NaNs.
+	bg.Reset()
+	for _, v := range bg.Background() {
+		if v != 0 {
+			t.Fatalf("empty background must be zero, got %v", v)
+		}
+	}
+}
+
+func TestPreprocessorProcessZeroAllocs(t *testing.T) {
+	cfgs := map[string]Config{"default": DefaultConfig()}
+	withFIR := DefaultConfig()
+	withFIR.EnableFastTimeFIR = true
+	withFIR.FastTimeSmoothBins = 3
+	cfgs["fastTimeFIR"] = withFIR
+	for name, cfg := range cfgs {
+		const bins = 64 // > 2*FIROrder so the FIR stage engages
+		p, err := NewPreprocessor(cfg, bins, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		frame := make([]complex128, bins)
+		for i := range frame {
+			frame[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := p.Process(frame); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: Process allocates %.1f objects/frame, want 0", name, allocs)
+		}
+	}
+}
+
+func TestPreprocessMatrixParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableFastTimeFIR = true
+	cfg.FastTimeSmoothBins = 3
+	m, _ := rf.NewFrameMatrix(200, 64, 25, 0.01)
+	rng := rand.New(rand.NewSource(3))
+	for k := range m.Data {
+		for b := range m.Data[k] {
+			m.Data[k][b] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	serial, err := PreprocessMatrixParallel(cfg, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		par, err := PreprocessMatrixParallel(cfg, m, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for k := range serial.Data {
+			for b := range serial.Data[k] {
+				if par.Data[k][b] != serial.Data[k][b] {
+					t.Fatalf("workers=%d: frame %d bin %d = %v, serial %v",
+						workers, k, b, par.Data[k][b], serial.Data[k][b])
+				}
+			}
+		}
+	}
+}
+
+func TestCascadeReuse(t *testing.T) {
+	c, err := NewCascade(26, 0.04, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want, err := CascadeFilter(x, 26, 0.04, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(x))
+	// Repeated application with reused buffers matches the one-shot
+	// helper, and the steady state allocates nothing.
+	for i := 0; i < 3; i++ {
+		if err := c.Apply(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("sample %d = %g, want %g", i, dst[i], want[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Apply(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Cascade.Apply allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
 func TestCascadeFilterErrors(t *testing.T) {
 	if _, err := CascadeFilter([]float64{1, 2}, 0, 0.1, 5); err == nil {
 		t.Fatal("bad FIR order must be rejected")

@@ -141,10 +141,25 @@ func (f *FIRFilter) Taps() []float64 {
 // features in the output remain time-aligned with the input; edges are
 // handled by replicating the first and last input samples.
 func (f *FIRFilter) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	f.ApplyInto(out, x) // lengths match by construction
+	return out
+}
+
+// ApplyInto filters x into dst with the same delay compensation as
+// Apply, performing no allocations. dst must have the same length as x
+// and must not alias it: the filter reads neighbouring input samples
+// after their output positions have been written.
+func (f *FIRFilter) ApplyInto(dst, x []float64) error {
 	n := len(x)
-	out := make([]float64, n)
+	if len(dst) != n {
+		return fmt.Errorf("dsp: destination has %d samples, input %d", len(dst), n)
+	}
 	if n == 0 {
-		return out
+		return nil
+	}
+	if &dst[0] == &x[0] {
+		return fmt.Errorf("dsp: ApplyInto destination must not alias the input")
 	}
 	delay := f.Order() / 2
 	for i := 0; i < n; i++ {
@@ -159,28 +174,52 @@ func (f *FIRFilter) Apply(x []float64) []float64 {
 			}
 			acc += t * x[k]
 		}
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out
+	return nil
 }
 
 // ApplyComplex filters a complex series by filtering the real and
 // imaginary components independently, preserving I/Q structure.
 func (f *FIRFilter) ApplyComplex(x []complex128) []complex128 {
-	n := len(x)
-	re := make([]float64, n)
-	im := make([]float64, n)
-	for i, c := range x {
-		re[i] = real(c)
-		im[i] = imag(c)
-	}
-	re = f.Apply(re)
-	im = f.Apply(im)
-	out := make([]complex128, n)
-	for i := range out {
-		out[i] = complex(re[i], im[i])
-	}
+	out := make([]complex128, len(x))
+	f.ApplyComplexInto(out, x) // lengths match by construction
 	return out
+}
+
+// ApplyComplexInto filters a complex series into dst without allocating:
+// the real and imaginary components are accumulated independently in a
+// single pass, which is arithmetically identical to splitting the series
+// and running ApplyInto on each part. dst must have the same length as x
+// and must not alias it.
+func (f *FIRFilter) ApplyComplexInto(dst, x []complex128) error {
+	n := len(x)
+	if len(dst) != n {
+		return fmt.Errorf("dsp: destination has %d samples, input %d", len(dst), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if &dst[0] == &x[0] {
+		return fmt.Errorf("dsp: ApplyComplexInto destination must not alias the input")
+	}
+	delay := f.Order() / 2
+	for i := 0; i < n; i++ {
+		var accRe, accIm float64
+		for j, t := range f.taps {
+			k := i + delay - j
+			switch {
+			case k < 0:
+				k = 0
+			case k >= n:
+				k = n - 1
+			}
+			accRe += t * real(x[k])
+			accIm += t * imag(x[k])
+		}
+		dst[i] = complex(accRe, accIm)
+	}
+	return nil
 }
 
 // FrequencyResponse evaluates the filter's complex frequency response at
@@ -203,6 +242,13 @@ func (f *FIRFilter) Stream() *FIRStream {
 
 // FIRStream is a stateful, sample-at-a-time FIR filter. It is not safe
 // for concurrent use.
+//
+// Unlike FIRFilter.Apply, which shifts its output to compensate the
+// filter group delay, a causal streaming filter cannot look ahead:
+// every output sample lags the corresponding input feature by Delay()
+// samples. Consumers that timestamp features found in the output (e.g.
+// blink extrema) must subtract that lag to stay aligned with the
+// offline path.
 type FIRStream struct {
 	taps  []float64
 	delay []float64
@@ -210,8 +256,12 @@ type FIRStream struct {
 	seen  int
 }
 
+// Delay returns the filter group delay in samples (order/2): how far
+// output features trail the input in a causal streaming run.
+func (s *FIRStream) Delay() int { return (len(s.taps) - 1) / 2 }
+
 // Push feeds one input sample and returns one output sample. Output lags
-// the input by the filter group delay.
+// the input by Delay() samples (the filter group delay).
 func (s *FIRStream) Push(v float64) float64 {
 	s.delay[s.pos] = v
 	s.pos = (s.pos + 1) % len(s.delay)

@@ -145,6 +145,99 @@ func TestFIRApplyComplexMatchesParts(t *testing.T) {
 	}
 }
 
+func TestFIRApplyIntoMatchesApply(t *testing.T) {
+	fir, err := LowPassFIR(14, 0.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	cx := make([]complex128, 64)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 4)
+		cx[i] = complex(x[i], math.Cos(float64(i)/7))
+	}
+	dst := make([]float64, len(x))
+	if err := fir.ApplyInto(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fir.Apply(x) {
+		if dst[i] != v {
+			t.Fatalf("sample %d = %g, want %g", i, dst[i], v)
+		}
+	}
+	cdst := make([]complex128, len(cx))
+	if err := fir.ApplyComplexInto(cdst, cx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range fir.ApplyComplex(cx) {
+		if cdst[i] != v {
+			t.Fatalf("complex sample %d = %v, want %v", i, cdst[i], v)
+		}
+	}
+	// The Into variants are the allocation-free hot path.
+	allocs := testing.AllocsPerRun(100, func() {
+		fir.ApplyInto(dst, x)
+		fir.ApplyComplexInto(cdst, cx)
+	})
+	if allocs != 0 {
+		t.Fatalf("Into variants allocate %.1f objects/run, want 0", allocs)
+	}
+}
+
+func TestFIRApplyIntoErrors(t *testing.T) {
+	fir, err := LowPassFIR(8, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 10)
+	if err := fir.ApplyInto(make([]float64, 9), x); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if err := fir.ApplyInto(x, x); err == nil {
+		t.Fatal("aliased destination must be rejected")
+	}
+	cx := make([]complex128, 10)
+	if err := fir.ApplyComplexInto(make([]complex128, 9), cx); err == nil {
+		t.Fatal("complex length mismatch must be rejected")
+	}
+	if err := fir.ApplyComplexInto(cx, cx); err == nil {
+		t.Fatal("complex aliased destination must be rejected")
+	}
+	// Empty inputs are a no-op, not an error.
+	if err := fir.ApplyInto(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fir.ApplyComplexInto(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIRStreamDelay(t *testing.T) {
+	fir, err := LowPassFIR(26, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fir.Stream()
+	if s.Delay() != 13 {
+		t.Fatalf("order-26 stream delay %d, want 13", s.Delay())
+	}
+	// An impulse pushed through the causal stream peaks Delay() samples
+	// later — the lag Delay() promises to consumers.
+	peakAt, peakVal := -1, 0.0
+	for i := 0; i < 60; i++ {
+		in := 0.0
+		if i == 20 {
+			in = 1
+		}
+		if out := s.Push(in); out > peakVal {
+			peakVal, peakAt = out, i
+		}
+	}
+	if peakAt != 20+s.Delay() {
+		t.Fatalf("stream impulse peak at %d, want %d", peakAt, 20+s.Delay())
+	}
+}
+
 func TestFIRStreamSteadyState(t *testing.T) {
 	// After the delay line fills, the streaming filter's output on a
 	// constant input equals the DC gain.

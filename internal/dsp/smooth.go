@@ -36,6 +36,48 @@ func MovingAverage(x []float64, window int) ([]float64, error) {
 	return out, nil
 }
 
+// MovingAverageInto smooths x into dst with the same centred,
+// edge-shrinking window as MovingAverage, performing no allocations: the
+// window sum is maintained incrementally instead of through a prefix
+// array. dst must have the same length as x and must not alias it.
+func MovingAverageInto(dst, x []float64, window int) error {
+	if err := validateLength("smoothing window", window); err != nil {
+		return err
+	}
+	n := len(x)
+	if len(dst) != n {
+		return fmt.Errorf("dsp: destination has %d samples, input %d", len(dst), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if &dst[0] == &x[0] {
+		return fmt.Errorf("dsp: MovingAverageInto destination must not alias the input")
+	}
+	half := window / 2
+	lo, hi := 0, half
+	if hi >= n {
+		hi = n - 1
+	}
+	var sum float64
+	for i := lo; i <= hi; i++ {
+		sum += x[i]
+	}
+	dst[0] = sum / float64(hi-lo+1)
+	for i := 1; i < n; i++ {
+		if nhi := i + half; nhi < n && nhi > hi {
+			sum += x[nhi]
+			hi = nhi
+		}
+		if nlo := i - half; nlo > lo {
+			sum -= x[lo]
+			lo = nlo
+		}
+		dst[i] = sum / float64(hi-lo+1)
+	}
+	return nil
+}
+
 // MovingAverageComplex smooths the real and imaginary parts of a complex
 // series independently.
 func MovingAverageComplex(x []complex128, window int) ([]complex128, error) {

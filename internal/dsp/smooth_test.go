@@ -70,6 +70,66 @@ func TestMovingAverageKnown(t *testing.T) {
 	}
 }
 
+func TestMovingAverageIntoMatchesMovingAverage(t *testing.T) {
+	// The incremental-sum Into variant must agree with the prefix-sum
+	// version (to rounding) for any signal and window, and allocate
+	// nothing.
+	f := func(seed int64, rawWin uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		win := int(rawWin)%60 + 1
+		x := make([]float64, n)
+		var scale float64
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			if a := math.Abs(x[i]); a > scale {
+				scale = a
+			}
+		}
+		want, err := MovingAverage(x, win)
+		if err != nil {
+			return false
+		}
+		dst := make([]float64, n)
+		if err := MovingAverageInto(dst, x, win); err != nil {
+			return false
+		}
+		for i := range want {
+			if !approxEqual(dst[i], want[i], 1e-9*(1+scale)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 256)
+	dst := make([]float64, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		MovingAverageInto(dst, x, 50)
+	})
+	if allocs != 0 {
+		t.Fatalf("MovingAverageInto allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+func TestMovingAverageIntoErrors(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if err := MovingAverageInto(make([]float64, 2), x, 3); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if err := MovingAverageInto(x, x, 3); err == nil {
+		t.Fatal("aliased destination must be rejected")
+	}
+	if err := MovingAverageInto(make([]float64, 3), x, 0); err == nil {
+		t.Fatal("zero window must be rejected")
+	}
+	if err := MovingAverageInto(nil, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMovingAverageComplex(t *testing.T) {
 	x := []complex128{complex(0, 6), complex(3, 0), complex(6, 6)}
 	got, err := MovingAverageComplex(x, 3)

@@ -165,14 +165,14 @@ type Fig7Result struct {
 	SNRBeforeDB, SNRAfterDB float64
 }
 
-// Fig7 builds a clean fast-time baseband profile (a few Gaussian
-// echoes, as in Fig. 7's received signal), corrupts it with noise, and
-// applies the paper's cascade: order-26 Hamming FIR plus a 50-point
-// smoothing filter.
-func Fig7(seed int64) (Fig7Result, error) {
+// Fig7Waveforms builds the clean fast-time baseband profile used by
+// Fig. 7 (a few Gaussian echoes, as in the paper's received signal) and
+// its noise-corrupted counterpart. Exposed so benchmarks can construct
+// the waveforms once and time only the filtering cascade.
+func Fig7Waveforms(seed int64) (clean, noisy []float64) {
 	rng := rand.New(rand.NewSource(seed))
 	const n = 2048
-	clean := make([]float64, n)
+	clean = make([]float64, n)
 	// Echoes at increasing delay with decreasing strength.
 	for _, e := range []struct{ pos, width, amp float64 }{
 		{300, 40, 1.0}, {700, 50, 0.55}, {1200, 60, 0.3}, {1600, 70, 0.18},
@@ -182,10 +182,19 @@ func Fig7(seed int64) (Fig7Result, error) {
 			clean[i] += e.amp * math.Exp(-0.5*d*d)
 		}
 	}
-	noisy := make([]float64, n)
+	noisy = make([]float64, n)
 	for i := range noisy {
 		noisy[i] = clean[i] + rng.NormFloat64()*0.12
 	}
+	return clean, noisy
+}
+
+// Fig7 builds a clean fast-time baseband profile (a few Gaussian
+// echoes, as in Fig. 7's received signal), corrupts it with noise, and
+// applies the paper's cascade: order-26 Hamming FIR plus a 50-point
+// smoothing filter.
+func Fig7(seed int64) (Fig7Result, error) {
+	clean, noisy := Fig7Waveforms(seed)
 	filtered, err := core.CascadeFilter(noisy, 26, 0.04, 50)
 	if err != nil {
 		return Fig7Result{}, err

@@ -144,24 +144,32 @@ func DistancesFrom(z []complex128, center complex128) []float64 {
 // AngularExtent returns the angle in radians subtended at center by the
 // sample cloud: the spread between the minimum and maximum sample angle
 // measured around center. It quantifies how much of the fitted circle an
-// arc trajectory covers.
+// arc trajectory covers. The phases are unwrapped in a single streaming
+// pass (same arithmetic as Unwrap) so the bin-selection hot path stays
+// allocation-free.
 func AngularExtent(z []complex128, center complex128) float64 {
 	if len(z) < 2 {
 		return 0
 	}
-	angles := make([]float64, len(z))
-	for i, c := range z {
-		angles[i] = cmplx.Phase(c - center)
-	}
-	u := Unwrap(angles)
-	lo, hi := u[0], u[0]
-	for _, a := range u[1:] {
-		if a < lo {
-			lo = a
+	prev := cmplx.Phase(z[0] - center)
+	lo, hi := prev, prev
+	offset := 0.0
+	for _, c := range z[1:] {
+		p := cmplx.Phase(c - center)
+		d := p - prev
+		if d > math.Pi {
+			offset -= 2 * math.Pi
+		} else if d < -math.Pi {
+			offset += 2 * math.Pi
 		}
-		if a > hi {
-			hi = a
+		u := p + offset
+		if u < lo {
+			lo = u
 		}
+		if u > hi {
+			hi = u
+		}
+		prev = p
 	}
 	ext := hi - lo
 	if ext > 2*math.Pi {
