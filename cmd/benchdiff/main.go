@@ -1,0 +1,157 @@
+// Command benchdiff gates CI on benchmark allocation budgets. It parses
+// the output of `go test -bench -benchmem` (as captured in bench.txt)
+// and fails when a named benchmark's allocs/op exceeds its budget — or
+// when a budgeted benchmark is missing from the output entirely, so a
+// renamed or deleted benchmark cannot silently disarm the gate.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -input bench.txt \
+//	    -max Fig7NoiseReduction=0 -max Fig10BinSelection=37
+//
+// Benchmark names are matched without the "Benchmark" prefix and the
+// -GOMAXPROCS suffix, so budgets stay stable across machines. When a
+// benchmark appears several times (e.g. -count > 1), the worst run is
+// compared against the budget.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// budgets is a repeatable -max Name=N flag.
+type budgets map[string]uint64
+
+func (b budgets) String() string {
+	parts := make([]string, 0, len(b))
+	for name, lim := range b {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, lim))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (b budgets) Set(s string) error {
+	name, limStr, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want Name=N, got %q", s)
+	}
+	lim, err := strconv.ParseUint(limStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad allocation budget in %q: %v", s, err)
+	}
+	b[name] = lim
+	return nil
+}
+
+func main() {
+	lim := budgets{}
+	input := flag.String("input", "bench.txt", "benchmark output to check (- for stdin)")
+	flag.Var(lim, "max", "allocation budget Name=N (repeatable)")
+	flag.Parse()
+	if len(lim) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no -max budgets given")
+		os.Exit(2)
+	}
+	r := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parseBench(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	violations := check(results, lim)
+	for name, allocs := range results {
+		if limit, ok := lim[name]; ok {
+			fmt.Printf("benchdiff: %s: %d allocs/op (budget %d)\n", name, allocs, limit)
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all allocation budgets met")
+}
+
+// parseBench extracts allocs/op per benchmark from -benchmem output.
+// Names are normalised by stripping the Benchmark prefix and the
+// -GOMAXPROCS suffix; repeated runs keep the worst figure.
+func parseBench(r io.Reader) (map[string]uint64, error) {
+	results := make(map[string]uint64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "allocs/op" {
+				continue
+			}
+			allocs, err := strconv.ParseUint(fields[i-1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in line %q: %v", sc.Text(), err)
+			}
+			name := normalize(fields[0])
+			if prev, ok := results[name]; !ok || allocs > prev {
+				results[name] = allocs
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// normalize strips the Benchmark prefix and the -GOMAXPROCS suffix:
+// "BenchmarkFig7NoiseReduction-8" -> "Fig7NoiseReduction".
+func normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// check returns one violation per budgeted benchmark that is either
+// missing from the results or above its allocation budget.
+func check(results map[string]uint64, lim budgets) []string {
+	names := make([]string, 0, len(lim))
+	for name := range lim {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		allocs, ok := results[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("benchmark %s not found in input", name))
+			continue
+		}
+		if allocs > lim[name] {
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op exceeds budget %d", name, allocs, lim[name]))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: blinkradar
+cpu: Test CPU
+BenchmarkFig7NoiseReduction-8    	     120	   9876543 ns/op	         3.210 dB-gain	       0 B/op	       0 allocs/op
+BenchmarkFig10BinSelection-8     	       4	 250000000 ns/op	        12.00 selected-bin	    2048 B/op	      37 allocs/op
+BenchmarkFig8BackgroundSubtraction-8 	 2	 500000000 ns/op	        41.00 dB-suppression	 9999999 B/op	   12345 allocs/op
+PASS
+ok  	blinkradar	3.210s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{
+		"Fig7NoiseReduction":        0,
+		"Fig10BinSelection":         37,
+		"Fig8BackgroundSubtraction": 12345,
+	}
+	for name, allocs := range want {
+		if got := results[name]; got != allocs {
+			t.Errorf("%s: got %d allocs/op, want %d", name, got, allocs)
+		}
+	}
+}
+
+func TestParseBenchKeepsWorstRun(t *testing.T) {
+	repeated := "BenchmarkX-4 10 5 ns/op 0 B/op 2 allocs/op\n" +
+		"BenchmarkX-4 10 5 ns/op 0 B/op 7 allocs/op\n" +
+		"BenchmarkX-4 10 5 ns/op 0 B/op 3 allocs/op\n"
+	results, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["X"]; got != 7 {
+		t.Errorf("got %d allocs/op, want worst run 7", got)
+	}
+}
+
+func TestCheckWithinBudgets(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := budgets{"Fig7NoiseReduction": 0, "Fig10BinSelection": 37}
+	if v := check(results, lim); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckOverBudget(t *testing.T) {
+	results := map[string]uint64{"Fig7NoiseReduction": 4}
+	v := check(results, budgets{"Fig7NoiseReduction": 0})
+	if len(v) != 1 || !strings.Contains(v[0], "exceeds budget") {
+		t.Errorf("want one exceeds-budget violation, got %v", v)
+	}
+}
+
+func TestCheckMissingBenchmark(t *testing.T) {
+	v := check(map[string]uint64{}, budgets{"Fig10BinSelection": 37})
+	if len(v) != 1 || !strings.Contains(v[0], "not found") {
+		t.Errorf("want one not-found violation, got %v", v)
+	}
+}
+
+func TestBudgetsFlagParsing(t *testing.T) {
+	lim := budgets{}
+	if err := lim.Set("Fig7NoiseReduction=0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lim.Set("Fig10BinSelection=37"); err != nil {
+		t.Fatal(err)
+	}
+	if lim["Fig7NoiseReduction"] != 0 || lim["Fig10BinSelection"] != 37 {
+		t.Errorf("budgets not recorded: %v", lim)
+	}
+	if err := lim.Set("bogus"); err == nil {
+		t.Error("want error for budget without =")
+	}
+	if err := lim.Set("X=notanumber"); err == nil {
+		t.Error("want error for non-numeric budget")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFig7NoiseReduction-8": "Fig7NoiseReduction",
+		"BenchmarkFig10BinSelection":    "Fig10BinSelection",
+		"BenchmarkUTF-8":                "UTF", // GOMAXPROCS suffix is indistinguishable; documented
+	}
+	for in, want := range cases {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command blinkvet runs the repo's project-specific static analyzers —
+// the machine-checked form of the invariants the hot-path refactor
+// established. It is wired into CI next to build/vet/test; run it
+// locally with:
+//
+//	go run ./cmd/blinkvet ./...
+//
+// Analyzers:
+//
+//	hotpathalloc   //blinkradar:hotpath functions must not allocate
+//	intocontract   exported ...Into APIs must guard dst/src aliasing
+//	goroutineleak  goroutines must be joined or cancellable
+//	metrichygiene  obs metrics registered once, constant names
+//
+// A finding is waived with a trailing or preceding line comment:
+//
+//	//blinkvet:ignore <analyzer>[,<analyzer>...] [reason]
+//
+// Exit status: 0 clean, 1 findings or type errors, 2 usage/load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blinkradar/internal/analysis"
+	"blinkradar/internal/analysis/goroutineleak"
+	"blinkradar/internal/analysis/hotpathalloc"
+	"blinkradar/internal/analysis/intocontract"
+	"blinkradar/internal/analysis/metrichygiene"
+)
+
+var analyzers = []*analysis.Analyzer{
+	hotpathalloc.Analyzer,
+	intocontract.Analyzer,
+	goroutineleak.Analyzer,
+	metrichygiene.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: blinkvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the blinkradar analyzer suite over the packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	os.Exit(run(flag.Args()))
+}
+
+func run(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blinkvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blinkvet:", err)
+		return 2
+	}
+	status := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "blinkvet: %s: type error: %v\n", pkg.ImportPath, terr)
+			status = 1
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blinkvet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			status = 1
+		}
+	}
+	return status
+}

@@ -1,3 +1,11 @@
 module blinkradar
 
-go 1.22
+go 1.24
+
+// The blinkvet analyzer suite (internal/analysis, cmd/blinkvet) is
+// intentionally dependency-free: it was built against the stdlib
+// (go/ast, go/types, go/importer over `go list -export` data) instead
+// of golang.org/x/tools/go/analysis because the build environment is
+// offline and the module must keep building with an empty module
+// cache. The framework mirrors the x/tools Analyzer/Pass/Diagnostic
+// shape, so migrating to the upstream driver later is mechanical.

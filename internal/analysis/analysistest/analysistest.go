@@ -1,0 +1,262 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest without the
+// dependency.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. A line that should be
+// flagged carries a trailing comment of the form
+//
+//	// want "regexp"
+//	// want "regexp1" "regexp2"
+//
+// where each quoted Go string is a regular expression that must match
+// the message of a distinct diagnostic reported on that line. Lines
+// with no want comment must produce no diagnostics. Fixture imports
+// resolve against the standard library and against sibling fixture
+// packages in the same src tree.
+package analysistest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"blinkradar/internal/analysis"
+)
+
+// Run loads each fixture package, applies the analyzer, and reports
+// mismatches between expected and actual diagnostics through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			pkg, err := loadFixture(testdata, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkg.TypeErrors) != 0 {
+				t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors)
+			}
+			diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkExpectations(t, pkg, diags)
+		})
+	}
+}
+
+// expectation is one want-regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, raw, err)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted Go string literals of a want
+// comment's payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start:]
+		// Find the closing quote, honouring backslash escapes.
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return out
+		}
+		out = append(out, rest[:end+1])
+		s = rest[end+1:]
+	}
+}
+
+// loadFixture parses and type-checks one fixture package.
+func loadFixture(testdata, name string) (*analysis.Package, error) {
+	imp := &fixtureImporter{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	fp, err := imp.load(name)
+	if err != nil {
+		return nil, err
+	}
+	return fp.pkg, nil
+}
+
+type fixturePkg struct {
+	pkg *analysis.Package
+}
+
+// fixtureImporter resolves fixture-local imports from the src tree by
+// type-checking them from source, and everything else from toolchain
+// export data.
+type fixtureImporter struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+	std  types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(fi.src, path)) {
+		fp, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(fp.pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("fixture dependency %s: %v", path, fp.pkg.TypeErrors[0])
+		}
+		return fp.pkg.Types, nil
+	}
+	if fi.std == nil {
+		fi.std = stdImporter(fi.fset)
+	}
+	return fi.std.Import(path)
+}
+
+func (fi *fixtureImporter) load(path string) (*fixturePkg, error) {
+	if fp, ok := fi.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(fi.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: fixture %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: fixture %s has no Go files", path)
+	}
+	pkg := &analysis.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       fi.fset,
+		Files:      files,
+		Info:       analysis.NewInfo(),
+	}
+	fp := &fixturePkg{pkg: pkg}
+	fi.pkgs[path] = fp
+	conf := types.Config{
+		Importer: fi,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, fi.fset, files, pkg.Info)
+	return fp, nil
+}
+
+func dirExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
+}
+
+// stdExports caches `go list -export` lookups of standard-library
+// export data across fixtures and tests in the process.
+var stdExports sync.Map // import path -> export file path
+
+func stdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if file, ok := stdExports.Load(path); ok {
+			return os.Open(file.(string))
+		}
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("analysistest: go list -export %s: %v\n%s", path, err, stderr.Bytes())
+		}
+		file := strings.TrimSpace(stdout.String())
+		if file == "" {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		stdExports.Store(path, file)
+		return os.Open(file)
+	})
+}

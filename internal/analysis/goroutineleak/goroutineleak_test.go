@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/goroutineleak"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutineleak.Analyzer, "leak")
+}

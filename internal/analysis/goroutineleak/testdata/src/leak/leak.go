@@ -1,0 +1,97 @@
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+func worker(n int)                      {}
+func serve(ctx context.Context) error   { return nil }
+func pump(ch chan int)                  {}
+func tracked(wg *sync.WaitGroup, n int) {}
+
+// WaitGroupJoin is the canonical bounded-pool shape: compliant.
+func WaitGroupJoin(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(1)
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelJoin signals completion through a channel: compliant.
+func ChannelJoin() <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	return done
+}
+
+// ContextTied passes its context into the body: compliant.
+func ContextTied(ctx context.Context) {
+	go func() {
+		_ = serve(ctx)
+	}()
+}
+
+// SelectLoop watches a cancellation channel: compliant.
+func SelectLoop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				worker(1)
+			}
+		}
+	}()
+}
+
+// RangeDrain consumes a channel until it is closed: compliant.
+func RangeDrain(ch chan int) {
+	go func() {
+		for v := range ch {
+			worker(v)
+		}
+	}()
+}
+
+// Orphan has no join or cancellation path at all.
+func Orphan() {
+	go func() { // want "no join or cancellation path"
+		worker(1)
+	}()
+}
+
+// NamedOrphan launches a named call with only plain data arguments.
+func NamedOrphan() {
+	go worker(1) // want "passes no context, channel, or WaitGroup"
+}
+
+// NamedWithContext hands the callee a cancellable context: compliant.
+func NamedWithContext(ctx context.Context) {
+	go serve(ctx)
+}
+
+// NamedWithChannel hands the callee its feed channel: compliant.
+func NamedWithChannel(ch chan int) {
+	go pump(ch)
+}
+
+// NamedWithWaitGroup hands the callee the join handle: compliant.
+func NamedWithWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go tracked(wg, 1)
+}
+
+// Waived is a deliberately detached goroutine.
+func Waived() {
+	//blinkvet:ignore goroutineleak fire-and-forget diagnostics flush
+	go worker(1)
+}

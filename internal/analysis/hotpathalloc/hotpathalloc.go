@@ -1,0 +1,190 @@
+// Package hotpathalloc flags allocating constructs inside functions
+// annotated //blinkradar:hotpath. The per-frame pipeline budget (40 ms
+// per frame in the paper, 0 allocs/frame since the in-place DSP
+// refactor) survives only if nobody reintroduces a hidden allocation;
+// this analyzer makes that a build break instead of a benchmark
+// regression.
+//
+// Inside an annotated function the following are reported:
+//
+//   - append (may grow the backing array)
+//   - make and new
+//   - map and slice composite literals
+//   - string concatenation
+//   - any call into package fmt
+//   - closures that capture variables, including in defer/go
+//   - go statements (spawning allocates)
+//   - explicit conversions to interface types and implicit boxing into
+//     variadic ...interface{} parameters
+//
+// The check is per-function-body: calls into helpers are not followed,
+// so either annotate the helpers on the hot call chain too (the repo
+// does, from Preprocessor.Process down to the DSP kernels) or keep
+// cold-path work — error construction, logging — in unannotated
+// helpers. Intentional amortised growth is waived with
+// //blinkvet:ignore hotpathalloc.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"blinkradar/internal/analysis"
+)
+
+// Marker is the doc-comment annotation that opts a function into the
+// check.
+const Marker = "//blinkradar:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocating constructs in //blinkradar:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n) {
+				pass.Reportf(n.OpPos, "string concatenation allocates in hot path %s", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, n); capt != "" {
+				pass.Reportf(n.Pos(), "closure captures %q and allocates in hot path %s", capt, fn.Name.Name)
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in hot path %s", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Builtins: append, make, new.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array; reuse a pre-sized buffer")
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates; hoist the buffer to the owning struct")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates; hoist the value to the owning struct")
+			}
+			return
+		}
+	}
+	// Conversions to interface types.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if argT := pass.TypesInfo.TypeOf(call.Args[0]); argT != nil && !types.IsInterface(argT) {
+				pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand", tv.Type)
+			}
+		}
+		return
+	}
+	// Calls into package fmt.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), "fmt.%s allocates; move formatting off the hot path", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Implicit boxing into ...interface{} variadics (print-style APIs).
+	if sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok && sig.Variadic() && call.Ellipsis == token.NoPos {
+		last := sig.Params().At(sig.Params().Len() - 1)
+		if slice, ok := last.Type().(*types.Slice); ok && types.IsInterface(slice.Elem()) {
+			if len(call.Args) >= sig.Params().Len() {
+				pass.Reportf(call.Pos(), "arguments are boxed into %s; avoid interface variadics on the hot path", slice.Elem())
+			}
+		}
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates; hoist it out of the hot path")
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates; reuse a pre-sized buffer")
+	}
+}
+
+func isString(pass *analysis.Pass, n *ast.BinaryExpr) bool {
+	t := pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// an enclosing scope, or "" when the closure is capture-free.
+// Package-level variables are not captures: referencing them costs no
+// closure cell.
+func capturedVar(pass *analysis.Pass, lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-scope variables (of any package) and universe names
+		// are not closure captures.
+		if p := v.Parent(); p == nil || p == types.Universe || p.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,60 @@
+package hot
+
+import "fmt"
+
+func sink(args ...interface{}) int { return len(args) }
+
+// Bad exercises every allocating construct the analyzer knows.
+//
+//blinkradar:hotpath
+func Bad(xs []float64, n int, name string) float64 {
+	buf := make([]float64, n)    // want "make allocates"
+	xs = append(xs, 1)           // want "append may grow"
+	m := map[string]int{}        // want "map literal allocates"
+	s := []int{1, 2}             // want "slice literal allocates"
+	label := name + "!"          // want "string concatenation allocates"
+	fmt.Println(n)               // want "Println allocates"
+	sink(n)                      // want "boxed into"
+	_ = interface{}(n)           // want "conversion to interface"
+	f := func() int { return n } // want "closure captures"
+	go f()                       // want "go statement"
+	_, _, _, _ = m, s, label, buf
+	return xs[0] + float64(f())
+}
+
+// Clean is annotated but allocation-free: in-place writes, struct
+// values, arithmetic, calls into helpers, capture-free closures.
+//
+//blinkradar:hotpath
+func Clean(dst, src []float64, k float64) float64 {
+	type pair struct{ a, b float64 }
+	p := pair{a: k}
+	copy(dst, src)
+	var acc float64
+	for i := range dst {
+		dst[i] *= k
+		acc += dst[i]
+	}
+	f := func(x float64) float64 { return x * x }
+	return f(acc) + p.a + helper(len(dst))
+}
+
+// Waived shows an intentional amortised-growth allocation.
+//
+//blinkradar:hotpath
+func Waived(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n) //blinkvet:ignore hotpathalloc amortised growth, BinSeries contract
+	}
+	return buf[:n]
+}
+
+// unannotated may allocate freely without findings.
+func unannotated(n int) []float64 {
+	out := make([]float64, n)
+	out = append(out, 1)
+	fmt.Println(len(out))
+	return out
+}
+
+func helper(n int) float64 { return float64(n) }

@@ -1,0 +1,161 @@
+// Package intocontract enforces the dsp package's buffer-reuse
+// convention: an exported `...Into(dst, src)` function writes through a
+// caller-owned destination, and overlapping dst/src silently corrupts
+// the output (the FIR kernels read neighbouring input samples after
+// their output positions have been written). Every exported Into API
+// must therefore either
+//
+//   - guard against aliasing — compare &dst[0] == &src[0] (any
+//     comparison of element addresses of two distinct slice
+//     parameters counts), or call a helper whose name contains
+//     "alias" — or
+//   - declare itself alias-tolerant with //blinkradar:alias-unsafe in
+//     its doc comment (for kernels that are genuinely in-place safe).
+//
+// Functions with fewer than two slice parameters are exempt: there is
+// nothing to alias.
+package intocontract
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"blinkradar/internal/analysis"
+)
+
+// Marker waives the check for a documented alias-tolerant API.
+const Marker = "//blinkradar:alias-unsafe"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "intocontract",
+	Doc:  "exported ...Into APIs must check dst/src aliasing or declare //blinkradar:alias-unsafe",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !strings.HasSuffix(fn.Name.Name, "Into") || !fn.Name.IsExported() {
+				continue
+			}
+			if hasMarker(fn) {
+				continue
+			}
+			sliceParams := sliceParamNames(pass, fn)
+			if len(sliceParams) < 2 {
+				continue
+			}
+			if !hasAliasGuard(pass, fn, sliceParams) {
+				pass.Reportf(fn.Name.Pos(),
+					"exported %s writes through caller buffers without an aliasing check; compare element addresses of its slice parameters or annotate %s",
+					fn.Name.Name, Marker)
+			}
+		}
+	}
+	return nil
+}
+
+func hasMarker(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceParamNames returns the set of parameter objects with slice type.
+func sliceParamNames(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// hasAliasGuard reports whether the body compares element addresses of
+// two distinct slice parameters, or delegates to an alias helper.
+func hasAliasGuard(pass *analysis.Pass, fn *ast.FuncDecl, params map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			a, aok := elementAddrOf(pass, n.X, params)
+			b, bok := elementAddrOf(pass, n.Y, params)
+			if aok && bok && a != b {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if !strings.Contains(strings.ToLower(name), "alias") {
+				return true
+			}
+			distinct := make(map[types.Object]bool)
+			for _, arg := range n.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && params[obj] {
+						distinct[obj] = true
+					}
+				}
+			}
+			if len(distinct) >= 2 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// elementAddrOf matches &p[i] where p is one of the slice parameters,
+// returning the parameter object.
+func elementAddrOf(pass *analysis.Pass, e ast.Expr, params map[types.Object]bool) (types.Object, bool) {
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil, false
+	}
+	idx, ok := u.X.(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := idx.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !params[obj] {
+		return nil, false
+	}
+	return obj, true
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package intocontract_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/intocontract"
+)
+
+func TestIntoContract(t *testing.T) {
+	analysistest.Run(t, "testdata", intocontract.Analyzer, "into")
+}

@@ -1,0 +1,67 @@
+package into
+
+import "errors"
+
+var errAlias = errors.New("dst aliases src")
+
+// GuardedInto checks element addresses before writing: compliant.
+func GuardedInto(dst, src []float64) error {
+	if len(dst) == 0 || len(src) == 0 {
+		return nil
+	}
+	if &dst[0] == &src[0] {
+		return errAlias
+	}
+	copy(dst, src)
+	return nil
+}
+
+// HelperInto delegates the check to an alias helper: compliant.
+func HelperInto(dst, src []float64) error {
+	if sliceAliases(dst, src) {
+		return errAlias
+	}
+	copy(dst, src)
+	return nil
+}
+
+// UncheckedInto writes without any guard.
+func UncheckedInto(dst, src []float64) { // want "without an aliasing check"
+	for i := range src {
+		dst[i] = 2 * src[i]
+	}
+}
+
+// DocumentedInto is explicitly in-place tolerant.
+//
+//blinkradar:alias-unsafe the loop reads src[i] before writing dst[i]
+func DocumentedInto(dst, src []float64) {
+	for i := range src {
+		dst[i] = 2 * src[i]
+	}
+}
+
+// ScaleInto has a single slice parameter: nothing to alias, exempt.
+func ScaleInto(dst []float64, k float64) {
+	for i := range dst {
+		dst[i] *= k
+	}
+}
+
+// unexportedInto is not part of the exported contract surface.
+func unexportedInto(dst, src []float64) {
+	copy(dst, src)
+}
+
+// SelfGuardInto compares the same parameter with itself, which proves
+// nothing.
+func SelfGuardInto(dst, src []float64) { // want "without an aliasing check"
+	if len(dst) > 0 && &dst[0] == &dst[0] {
+		return
+	}
+	copy(dst, src)
+}
+
+func sliceAliases(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}

@@ -1,0 +1,119 @@
+// Package metrichygiene enforces the obs registry discipline: metric
+// handles are looked up once, at construction, under compile-time
+// constant names. The registry's get-or-create lookup takes a lock and
+// hashes the name — cheap at wiring time, poison in per-frame code —
+// and dynamic names fragment dashboards and unbounded-grow the
+// registry.
+//
+// For every call to (*obs.Registry).Counter, Gauge, or Histogram the
+// analyzer requires:
+//
+//   - the metric name argument is a compile-time constant;
+//   - the call is not inside a for/range loop;
+//   - the call is not inside a //blinkradar:hotpath function (cache
+//     the handle on the owning struct at construction instead).
+package metrichygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"blinkradar/internal/analysis"
+	"blinkradar/internal/analysis/hotpathalloc"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metrichygiene",
+	Doc:  "obs metrics must be registered at construction with constant names, never per-frame",
+	Run:  run,
+}
+
+// registryMethods are the get-or-create lookups on obs.Registry.
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	hot := isHotPath(fn)
+	// loopDepth tracks how many enclosing for/range statements surround
+	// the node being visited; a manual stack-walk keeps it exact.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+		case *ast.CallExpr:
+			checkCall(pass, fn, n, hot, loopDepth)
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			walk(child, loopDepth)
+			return false
+		})
+	}
+	walk(fn.Body, 0)
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, hot bool, loopDepth int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil || !isRegistry(recv) || len(call.Args) == 0 {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(), "metric name passed to %s must be a compile-time constant", sel.Sel.Name)
+	}
+	if loopDepth > 0 {
+		pass.Reportf(call.Pos(), "metric registered inside a loop; look the handle up once at construction")
+	}
+	if hot {
+		pass.Reportf(call.Pos(), "registry lookup in hot path %s; cache the %s handle on the owning struct", fn.Name.Name, sel.Sel.Name)
+	}
+}
+
+// isRegistry matches obs.Registry (optionally behind a pointer) by
+// package name and type name, so the check also applies to fixture
+// packages that model the registry.
+func isRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}
+
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathalloc.Marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/metrichygiene"
+)
+
+func TestMetricHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", metrichygiene.Analyzer, "metrics")
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+const histName = "pipeline_stage_seconds"
+
+type pipeline struct {
+	frames  *obs.Counter
+	latency *obs.Histogram
+}
+
+// newPipeline registers once at construction with constant names:
+// compliant.
+func newPipeline(r *obs.Registry) *pipeline {
+	return &pipeline{
+		frames:  r.Counter("pipeline_frames_total"),
+		latency: r.Histogram(histName, []float64{0.001, 0.01}),
+	}
+}
+
+// process uses the cached handles per frame: compliant.
+//
+//blinkradar:hotpath
+func (p *pipeline) process(v float64) {
+	p.frames.Inc()
+	p.latency.Observe(v)
+}
+
+// dynamicName builds the metric name at run time.
+func dynamicName(r *obs.Registry, shard int) *obs.Counter {
+	return r.Counter(fmt.Sprintf("shard_%d_frames", shard)) // want "compile-time constant"
+}
+
+// inLoop registers per iteration.
+func inLoop(r *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("loop_frames_total").Inc() // want "inside a loop"
+	}
+}
+
+// hotLookup re-resolves the handle on the per-frame path.
+//
+//blinkradar:hotpath
+func hotLookup(r *obs.Registry, v float64) {
+	r.Gauge("frame_value").Set(v) // want "registry lookup in hot path"
+}
+
+// otherReceiver has the same method names on an unrelated type: no
+// findings.
+type fake struct{}
+
+func (fake) Counter(name string) int { return len(name) }
+
+func unrelated(f fake, names []string) int {
+	total := 0
+	for _, n := range names {
+		total += f.Counter(n)
+	}
+	return total
+}

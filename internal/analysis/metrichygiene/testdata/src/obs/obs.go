@@ -1,0 +1,21 @@
+// Package obs models the real observability registry surface for the
+// metrichygiene fixtures.
+package obs
+
+type Counter struct{ n uint64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                       { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge                           { return &Gauge{} }
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }

@@ -205,6 +205,8 @@ func newBinRing(bins, window int) *binRing {
 }
 
 // push stores one frame (len == bins).
+//
+//blinkradar:hotpath
 func (r *binRing) push(frame []complex128) {
 	copy(r.buf[r.pos*r.bins:(r.pos+1)*r.bins], frame)
 	r.pos = (r.pos + 1) % r.window
@@ -224,9 +226,13 @@ func (r *binRing) series(bin int) []complex128 {
 // the filled slice. It satisfies the BinSeries contract: concurrent
 // calls with distinct buffers are safe as long as no frame is pushed
 // meanwhile.
+//
+//blinkradar:hotpath
 func (r *binRing) seriesInto(bin int, buf []complex128) []complex128 {
 	if cap(buf) < r.count {
-		buf = make([]complex128, r.count)
+		// Grows only until the ring window fills; steady state reuses
+		// the caller's scratch.
+		buf = make([]complex128, r.count) //blinkvet:ignore hotpathalloc amortised warm-up growth
 	}
 	buf = buf[:r.count]
 	start := r.pos - r.count

@@ -1,0 +1,10 @@
+package core
+
+import "fmt"
+
+// errFrameBins reports a frame/preprocessor bin-count mismatch. It lives
+// outside the //blinkradar:hotpath bodies so the fmt machinery stays off
+// the per-frame path; the branch only fires on caller bugs.
+func errFrameBins(got, want int) error {
+	return fmt.Errorf("core: frame has %d bins, preprocessor configured for %d", got, want)
+}

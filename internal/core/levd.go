@@ -175,6 +175,8 @@ func (l *LEVD) ResetSigma() {
 // Push feeds the distance sample for capture frame index frame
 // (monotonically increasing across restarts). It returns a detected
 // blink and true when an extremum pair crosses the threshold.
+//
+//blinkradar:hotpath
 func (l *LEVD) Push(d float64, frame int) (BlinkEvent, bool) {
 	l.frame = frame
 	v := l.smooth(d)
@@ -220,6 +222,8 @@ func (l *LEVD) Flush() (BlinkEvent, bool) {
 }
 
 // smooth applies the streaming moving average.
+//
+//blinkradar:hotpath
 func (l *LEVD) smooth(d float64) float64 {
 	l.smoothBuf[l.smoothPos] = d
 	l.smoothPos = (l.smoothPos + 1) % len(l.smoothBuf)
@@ -234,20 +238,26 @@ func (l *LEVD) smooth(d float64) float64 {
 }
 
 // detrend maintains the trailing moving median and returns it once the
-// window has filled enough to be meaningful.
+// window has filled enough to be meaningful. The sorted mirror of the
+// ring is edited with copy-based insert/remove inside its pre-allocated
+// capacity (cap == DetrendWindowFrames, fixed at construction), so the
+// per-frame path never reallocates.
+//
+//blinkradar:hotpath
 func (l *LEVD) detrend(v float64) (float64, bool) {
 	w := len(l.trendRing)
 	if l.trendCnt == w {
 		old := l.trendRing[l.trendPos]
 		i := sort.SearchFloat64s(l.trendSorted, old)
-		l.trendSorted = append(l.trendSorted[:i], l.trendSorted[i+1:]...)
+		copy(l.trendSorted[i:], l.trendSorted[i+1:])
+		l.trendSorted = l.trendSorted[:len(l.trendSorted)-1]
 	} else {
 		l.trendCnt++
 	}
 	l.trendRing[l.trendPos] = v
 	l.trendPos = (l.trendPos + 1) % w
 	i := sort.SearchFloat64s(l.trendSorted, v)
-	l.trendSorted = append(l.trendSorted, 0)
+	l.trendSorted = l.trendSorted[:len(l.trendSorted)+1]
 	copy(l.trendSorted[i+1:], l.trendSorted[i:])
 	l.trendSorted[i] = v
 	if l.trendCnt < w/2 {
@@ -257,6 +267,8 @@ func (l *LEVD) detrend(v float64) (float64, bool) {
 }
 
 // updateSigma maintains the rolling MAD-based sigma estimate.
+//
+//blinkradar:hotpath
 func (l *LEVD) updateSigma(v float64) {
 	l.sigmaBuf[l.sigmaPos] = v
 	l.sigmaPos = (l.sigmaPos + 1) % len(l.sigmaBuf)
@@ -271,7 +283,10 @@ func (l *LEVD) updateSigma(v float64) {
 	if l.sigmaCnt < 10 {
 		return
 	}
-	vals := append(l.sortScratch[:0], l.sigmaBuf[:l.sigmaCnt]...)
+	// sortScratch's capacity is the sigma window size, so this reslice
+	// never grows the backing array.
+	vals := l.sortScratch[:l.sigmaCnt]
+	copy(vals, l.sigmaBuf[:l.sigmaCnt])
 	sort.Float64s(vals)
 	med := vals[len(vals)/2]
 	for i, x := range vals {
@@ -284,6 +299,8 @@ func (l *LEVD) updateSigma(v float64) {
 }
 
 // step runs the extremum state machine and detection rule.
+//
+//blinkradar:hotpath
 func (l *LEVD) step(v float64) {
 	if !l.havePrev {
 		l.prev = v
@@ -299,15 +316,12 @@ func (l *LEVD) step(v float64) {
 	default:
 		newDir = l.dir
 	}
-	defer func() {
-		l.prev = v
-		l.dir = newDir
-	}()
-	if l.dir == 0 || newDir == l.dir || newDir == 0 {
-		return
+	if l.dir != 0 && newDir != l.dir && newDir != 0 {
+		// Direction flipped at the previous sample: it was an extremum.
+		l.onExtremum(extremum{val: l.prev, idx: l.frame - 1, max: l.dir > 0})
 	}
-	// Direction flipped at the previous sample: it was an extremum.
-	l.onExtremum(extremum{val: l.prev, idx: l.frame - 1, max: l.dir > 0})
+	l.prev = v
+	l.dir = newDir
 }
 
 type extremum struct {
@@ -317,15 +331,18 @@ type extremum struct {
 }
 
 // onExtremum compares the new extremum with the previous one of the
-// opposite kind and applies the threshold rule.
+// opposite kind and applies the threshold rule. The previous extremum is
+// captured in locals and the fields updated up front, replacing an
+// earlier deferred closure that allocated on every direction flip.
+//
+//blinkradar:hotpath
 func (l *LEVD) onExtremum(e extremum) {
-	defer func() {
-		l.extVal, l.extIdx, l.extMax, l.haveExt = e.val, e.idx, e.max, true
-	}()
-	if !l.haveExt || l.extMax == e.max {
+	prevVal, prevIdx, prevMax, hadExt := l.extVal, l.extIdx, l.extMax, l.haveExt
+	l.extVal, l.extIdx, l.extMax, l.haveExt = e.val, e.idx, e.max, true
+	if !hadExt || prevMax == e.max {
 		return
 	}
-	diff := math.Abs(e.val - l.extVal)
+	diff := math.Abs(e.val - prevVal)
 	if l.sigma == 0 || diff <= l.Threshold() {
 		return
 	}
@@ -335,7 +352,7 @@ func (l *LEVD) onExtremum(e extremum) {
 	// extremum of a reopening pair can trail the blink entirely. The
 	// smoother's group delay is subtracted so streaming timestamps match
 	// the offline timeline (see the lagFrames field).
-	t := (float64(l.extIdx) - l.lagFrames) / l.fps
+	t := (float64(prevIdx) - l.lagFrames) / l.fps
 	if t < 0 {
 		t = 0
 	}
@@ -360,7 +377,7 @@ func (l *LEVD) onExtremum(e extremum) {
 		return
 	}
 	l.lastEvent = t
-	span := math.Abs(float64(e.idx-l.extIdx)) / l.fps
+	span := math.Abs(float64(e.idx-prevIdx)) / l.fps
 	l.pending = BlinkEvent{Time: t, Amplitude: diff, Confidence: diff / l.Threshold()}
 	l.pendingSpan = span
 	l.pendingStart = t

@@ -55,9 +55,11 @@ func NewPreprocessor(cfg Config, numBins int, frameRate float64) (*Preprocessor,
 // Process denoises and background-subtracts one frame in place. All
 // intermediate buffers are owned by the preprocessor, so the per-frame
 // hot path performs no allocations.
+//
+//blinkradar:hotpath
 func (p *Preprocessor) Process(frame []complex128) error {
 	if len(frame) != len(p.scratch) {
-		return fmt.Errorf("core: frame has %d bins, preprocessor configured for %d", len(frame), len(p.scratch))
+		return errFrameBins(len(frame), len(p.scratch))
 	}
 	p.denoise(frame)
 	p.background.Apply(frame)
@@ -67,6 +69,8 @@ func (p *Preprocessor) Process(frame []complex128) error {
 // denoise runs the allocation-free noise-reduction cascade (fast-time
 // FIR plus smoothing) on one frame in place. The frame length must
 // already have been validated.
+//
+//blinkradar:hotpath
 func (p *Preprocessor) denoise(frame []complex128) {
 	if p.fir != nil {
 		p.fir.ApplyComplexInto(p.firScratch, frame) // lengths match by construction
@@ -80,6 +84,8 @@ func (p *Preprocessor) Reset() { p.background.Reset() }
 
 // smoothFastTime applies a centred moving average of the given width
 // across range bins, writing through scratch. Width 1 is a no-op.
+//
+//blinkradar:hotpath
 func smoothFastTime(frame, scratch []complex128, width int) {
 	if width <= 1 {
 		return
@@ -146,6 +152,8 @@ func NewBackgroundSubtractor(numBins int, frameRate, tauSec float64) (*Backgroun
 // accumulated, so a Reset mid-prime or a capture that ends before the
 // window fills never leaves a partial sum scaled as if the window had
 // completed.
+//
+//blinkradar:hotpath
 func (b *BackgroundSubtractor) Apply(frame []complex128) {
 	if b.seen < b.primeFrames {
 		b.seen++

@@ -150,16 +150,18 @@ func (f *FIRFilter) Apply(x []float64) []float64 {
 // Apply, performing no allocations. dst must have the same length as x
 // and must not alias it: the filter reads neighbouring input samples
 // after their output positions have been written.
+//
+//blinkradar:hotpath
 func (f *FIRFilter) ApplyInto(dst, x []float64) error {
 	n := len(x)
 	if len(dst) != n {
-		return fmt.Errorf("dsp: destination has %d samples, input %d", len(dst), n)
+		return errSampleCount(len(dst), n)
 	}
 	if n == 0 {
 		return nil
 	}
 	if &dst[0] == &x[0] {
-		return fmt.Errorf("dsp: ApplyInto destination must not alias the input")
+		return errAliased("ApplyInto")
 	}
 	delay := f.Order() / 2
 	for i := 0; i < n; i++ {
@@ -192,16 +194,18 @@ func (f *FIRFilter) ApplyComplex(x []complex128) []complex128 {
 // single pass, which is arithmetically identical to splitting the series
 // and running ApplyInto on each part. dst must have the same length as x
 // and must not alias it.
+//
+//blinkradar:hotpath
 func (f *FIRFilter) ApplyComplexInto(dst, x []complex128) error {
 	n := len(x)
 	if len(dst) != n {
-		return fmt.Errorf("dsp: destination has %d samples, input %d", len(dst), n)
+		return errSampleCount(len(dst), n)
 	}
 	if n == 0 {
 		return nil
 	}
 	if &dst[0] == &x[0] {
-		return fmt.Errorf("dsp: ApplyComplexInto destination must not alias the input")
+		return errAliased("ApplyComplexInto")
 	}
 	delay := f.Order() / 2
 	for i := 0; i < n; i++ {
@@ -262,6 +266,8 @@ func (s *FIRStream) Delay() int { return (len(s.taps) - 1) / 2 }
 
 // Push feeds one input sample and returns one output sample. Output lags
 // the input by Delay() samples (the filter group delay).
+//
+//blinkradar:hotpath
 func (s *FIRStream) Push(v float64) float64 {
 	s.delay[s.pos] = v
 	s.pos = (s.pos + 1) % len(s.delay)

@@ -40,19 +40,21 @@ func MovingAverage(x []float64, window int) ([]float64, error) {
 // edge-shrinking window as MovingAverage, performing no allocations: the
 // window sum is maintained incrementally instead of through a prefix
 // array. dst must have the same length as x and must not alias it.
+//
+//blinkradar:hotpath
 func MovingAverageInto(dst, x []float64, window int) error {
 	if err := validateLength("smoothing window", window); err != nil {
 		return err
 	}
 	n := len(x)
 	if len(dst) != n {
-		return fmt.Errorf("dsp: destination has %d samples, input %d", len(dst), n)
+		return errSampleCount(len(dst), n)
 	}
 	if n == 0 {
 		return nil
 	}
 	if &dst[0] == &x[0] {
-		return fmt.Errorf("dsp: MovingAverageInto destination must not alias the input")
+		return errAliased("MovingAverageInto")
 	}
 	half := window / 2
 	lo, hi := 0, half

@@ -1,0 +1,93 @@
+package iq
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeSamples interprets the fuzz payload as a stream of float64
+// pairs (I, Q), discarding non-finite or absurdly large values that no
+// radar front end can produce.
+func decodeSamples(data []byte) []complex128 {
+	const sampleBytes = 16
+	n := len(data) / sampleBytes
+	if n > 4096 {
+		n = 4096
+	}
+	z := make([]complex128, 0, n)
+	for i := 0; i < n; i++ {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data[i*sampleBytes:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[i*sampleBytes+8:]))
+		if !finite(re) || !finite(im) {
+			continue
+		}
+		z = append(z, complex(re, im))
+	}
+	return z
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12
+}
+
+// offlineExtent is the reference implementation of AngularExtent: take
+// every sample's phase around center, unwrap the whole sequence with
+// the allocating Unwrap, and measure the spread. The streaming version
+// must agree because it performs the same arithmetic in one pass.
+func offlineExtent(z []complex128, center complex128) float64 {
+	if len(z) < 2 {
+		return 0
+	}
+	phases := make([]float64, len(z))
+	for i, c := range z {
+		phases[i] = math.Atan2(imag(c-center), real(c-center))
+	}
+	u := Unwrap(phases)
+	lo, hi := u[0], u[0]
+	for _, p := range u[1:] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	ext := hi - lo
+	if ext > 2*math.Pi {
+		ext = 2 * math.Pi
+	}
+	return ext
+}
+
+// FuzzAngularExtent cross-checks the streaming single-pass extent
+// against the offline unwrap-then-scan reference on arbitrary I/Q
+// clouds and centres.
+func FuzzAngularExtent(f *testing.F) {
+	seed := make([]byte, 0, 8*16)
+	for _, v := range []float64{1, 0, 0, 1, -1, 0.5, 0.25, -1, 1, 1, -0.5, -0.5, 0.1, 0.9, 2, -2} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed, 0.0, 0.0)
+	f.Add(seed, 0.25, -0.75)
+	f.Add([]byte{}, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, data []byte, cre, cim float64) {
+		if !finite(cre) || !finite(cim) {
+			t.Skip("non-finite centre")
+		}
+		z := decodeSamples(data)
+		center := complex(cre, cim)
+		got := AngularExtent(z, center)
+		want := offlineExtent(z, center)
+		if got < 0 || got > 2*math.Pi+1e-9 {
+			t.Fatalf("extent %g outside [0, 2pi]", got)
+		}
+		// Identical arithmetic, so only representation-level noise is
+		// tolerated.
+		tol := 1e-9 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Fatalf("streaming extent %g, offline reference %g (diff %g) on %d samples",
+				got, want, math.Abs(got-want), len(z))
+		}
+	})
+}

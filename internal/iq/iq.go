@@ -147,6 +147,8 @@ func DistancesFrom(z []complex128, center complex128) []float64 {
 // arc trajectory covers. The phases are unwrapped in a single streaming
 // pass (same arithmetic as Unwrap) so the bin-selection hot path stays
 // allocation-free.
+//
+//blinkradar:hotpath
 func AngularExtent(z []complex128, center complex128) float64 {
 	if len(z) < 2 {
 		return 0

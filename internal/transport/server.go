@@ -124,6 +124,9 @@ type Server struct {
 	clients map[*client]struct{}
 	seq     uint64
 	epoch   time.Time
+	// conns joins every per-client write loop so Serve does not return
+	// while goroutines it spawned still run.
+	conns sync.WaitGroup
 
 	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
 	mFramesPumped *obs.Counter
@@ -200,21 +203,36 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 
 // Serve accepts clients on ln and pumps frames until the context is
 // cancelled or the source fails. It always closes the listener, and it
-// reaps its context watcher even when the pump exits on a source error
-// before cancellation.
+// joins every goroutine it spawned — the context watcher, the accept
+// loop and all per-client write loops — before returning, so a
+// restarting daemon never strands writers on dead connections.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	defer ln.Close()
 	done := make(chan struct{})
-	defer close(done)
+	var aux sync.WaitGroup
+	aux.Add(1)
 	go func() {
+		defer aux.Done()
 		select {
 		case <-ctx.Done():
 			ln.Close()
 		case <-done:
 		}
 	}()
-	go s.acceptLoop(ln)
-	return s.pump(ctx)
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		s.acceptLoop(ln)
+	}()
+	err := s.pump(ctx)
+	close(done)
+	ln.Close()
+	aux.Wait()
+	// The accept loop has exited, so no new client can register. Close
+	// any straggler accepted after the pump's own closeAll, then join
+	// the write loops.
+	s.closeAll()
+	s.conns.Wait()
+	return err
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -231,7 +249,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mConnects.Inc()
 		s.gClients.Set(float64(n))
 		s.logger.Printf("client connected: %s", conn.RemoteAddr())
-		go s.writeLoop(c)
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			s.writeLoop(c)
+		}()
 	}
 }
 
@@ -335,11 +357,21 @@ func (s *Server) broadcast(f Frame) {
 	}
 }
 
+// drainTimeout bounds how long a disconnecting client's write loop may
+// keep flushing queued frames. Without it a stalled peer would pin
+// Serve's shutdown join indefinitely.
+const drainTimeout = 2 * time.Second
+
+// closeAll disconnects every client: the queue channel is closed so
+// the write loop drains the frames the client is still owed and exits,
+// and a write deadline bounds that drain so a stalled peer cannot pin
+// Serve's shutdown join.
 func (s *Server) closeAll() {
 	s.mu.Lock()
 	for c := range s.clients {
 		delete(s.clients, c)
 		close(c.ch)
+		_ = c.conn.SetWriteDeadline(time.Now().Add(drainTimeout))
 	}
 	s.mu.Unlock()
 	s.gClients.Set(0)
