@@ -99,6 +99,22 @@ type (
 	MatchResult = eval.MatchResult
 	// BatchResult is one capture's outcome in a DetectBatch run.
 	BatchResult = core.BatchResult
+	// HealthState is the detector's coarse operating condition.
+	HealthState = core.HealthState
+	// InputStats summarises input sanitization and gap handling.
+	InputStats = core.InputStats
+)
+
+// Detector health states (see core.HealthState).
+const (
+	// HealthAcquiring is the initial cold start.
+	HealthAcquiring = core.HealthAcquiring
+	// HealthTracking is normal operation.
+	HealthTracking = core.HealthTracking
+	// HealthReacquiring is the post-gap cold-start re-run.
+	HealthReacquiring = core.HealthReacquiring
+	// HealthDegraded means the input stream is currently unusable.
+	HealthDegraded = core.HealthDegraded
 )
 
 // Alertness states.

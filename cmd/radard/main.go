@@ -24,8 +24,10 @@ import (
 	"os/signal"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"blinkradar"
+	"blinkradar/internal/chaos"
 	"blinkradar/internal/obs"
 	"blinkradar/internal/transport"
 )
@@ -44,6 +46,17 @@ func main() {
 		duration  = flag.Float64("duration", 120, "simulated capture length in seconds")
 		drowsy    = flag.Bool("drowsy-state", false, "simulate a drowsy driver")
 		seed      = flag.Int64("seed", 1, "scenario seed (simulated mode)")
+
+		chaosSpec       = flag.String("chaos", "", "frame-level fault spec, e.g. seed=7,drop=0.05,nan=0.01 (see internal/chaos.ParseSpec)")
+		faultSeed       = flag.Int64("fault-seed", 0, "rng seed for byte-level connection faults")
+		faultCorrupt    = flag.Float64("fault-corrupt", 0, "per-byte corruption probability on client connections")
+		faultResetBytes = flag.Int("fault-reset-bytes", 0, "abruptly reset a connection after this many bytes (0 = off)")
+		faultResetConns = flag.Int("fault-reset-conns", 0, "only reset the first N connections (0 = all)")
+		faultStallEvery = flag.Int("fault-stall-every", 0, "stall writes every N bytes (0 = off)")
+		faultStallMs    = flag.Int("fault-stall-ms", 0, "stall duration in milliseconds")
+
+		writeTimeout = flag.Duration("write-timeout", 0, "per-frame client write deadline (0 disables)")
+		slowPolicy   = flag.String("slow-policy", "disconnect", "slow-client treatment: disconnect or drop-frames")
 	)
 	flag.Parse()
 
@@ -65,6 +78,20 @@ func main() {
 	}
 	logger.Printf("serving %d-bin frames at %.1f fps on %s", matrix.NumBins(), matrix.FrameRate, ln.Addr())
 
+	connFaults := chaos.ConnFaults{
+		Seed:            *faultSeed,
+		SkipBytes:       64, // never corrupt the stream hello
+		CorruptProb:     *faultCorrupt,
+		ResetAfterBytes: *faultResetBytes,
+		ResetConns:      *faultResetConns,
+		StallEvery:      *faultStallEvery,
+		StallFor:        time.Duration(*faultStallMs) * time.Millisecond,
+	}
+	if connFaults.Enabled() {
+		logger.Printf("injecting connection faults: %+v", connFaults)
+		ln = chaos.WrapListener(ln, connFaults)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -73,6 +100,29 @@ func main() {
 	srv.SetRegistry(reg)
 	if *startSeq > 0 {
 		srv.SetStartSeq(*startSeq)
+	}
+	srv.SetWriteTimeout(*writeTimeout)
+	switch *slowPolicy {
+	case "disconnect":
+		srv.SetSlowPolicy(transport.DisconnectSlowClients)
+	case "drop-frames":
+		srv.SetSlowPolicy(transport.DropFramesForSlowClients)
+	default:
+		logger.Fatalf("unknown -slow-policy %q (want disconnect or drop-frames)", *slowPolicy)
+	}
+	if *chaosSpec != "" {
+		ccfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if ccfg.Enabled() {
+			inj, err := chaos.New(ccfg)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("injecting frame faults: %s", ccfg.Spec())
+			srv.SetFrameHook(inj.Apply)
+		}
 	}
 
 	// streaming flips once the pump is live; /healthz reports 503 until

@@ -10,12 +10,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"blinkradar"
+	"blinkradar/internal/chaos"
 	"blinkradar/internal/transport"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		drowsy    = flag.Bool("drowsy-state", false, "simulate a drowsy driver")
 		driving   = flag.Bool("driving", false, "on-road capture instead of lab")
 		seed      = flag.Int64("seed", 1, "scenario seed")
+		chaosSpec = flag.String("chaos", "", "fault spec applied to the written frames, e.g. seed=7,drop=0.05,nan=0.01 (see internal/chaos.ParseSpec)")
 	)
 	flag.Parse()
 	if *truthOut == "" {
@@ -69,8 +72,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := writeCapture(*out, capture); err != nil {
+	inj, err := buildInjector(*chaosSpec)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if err := writeCapture(*out, capture, inj); err != nil {
+		log.Fatal(err)
+	}
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("chaos: %d frames dropped, %d duplicated, %d reordered, %d poisoned, %d saturated\n",
+			st.Dropped, st.Duplicated, st.Reordered, st.Poisoned, st.Saturated)
 	}
 	if err := writeTruth(*truthOut, spec, capture); err != nil {
 		log.Fatal(err)
@@ -80,7 +92,27 @@ func main() {
 		*out, len(capture.Truth), *truthOut)
 }
 
-func writeCapture(path string, capture *blinkradar.Capture) error {
+// buildInjector parses the -chaos spec into a frame injector, or nil
+// when no faults are requested. Bin-count changes are refused: the
+// capture header pins a single geometry for the whole file.
+func buildInjector(spec string) (*chaos.Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg, err := chaos.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BinChangeAfter > 0 {
+		return nil, errors.New("binchange is not representable in a capture file (the hello pins the bin count); use radard -chaos for mid-stream geometry changes")
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	return chaos.New(cfg)
+}
+
+func writeCapture(path string, capture *blinkradar.Capture, inj *chaos.Injector) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("create capture: %w", err)
@@ -95,14 +127,32 @@ func writeCapture(path string, capture *blinkradar.Capture) error {
 		return err
 	}
 	enc := transport.NewEncoder(f)
+	write := func(out transport.Frame) error { return enc.Encode(out) }
 	for k, frame := range m.Data {
-		err := enc.Encode(transport.Frame{
+		in := transport.Frame{
 			Seq:             uint64(k),
 			TimestampMicros: uint64(m.FrameTime(k) * 1e6),
 			Bins:            frame,
-		})
-		if err != nil {
-			return err
+		}
+		if inj == nil {
+			if err := write(in); err != nil {
+				return err
+			}
+			continue
+		}
+		// Dropped frames keep their sequence number out of the file, so
+		// replaying it downstream shows the same gaps a lossy link would.
+		for _, out := range inj.Apply(in) {
+			if err := write(out); err != nil {
+				return err
+			}
+		}
+	}
+	if inj != nil {
+		for _, out := range inj.Flush() {
+			if err := write(out); err != nil {
+				return err
+			}
 		}
 	}
 	if err := enc.Flush(); err != nil {

@@ -34,10 +34,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("radarwatch: ")
 	var (
-		addr      = flag.String("addr", "localhost:7341", "radard address")
-		window    = flag.Float64("window", 60, "drowsiness window in seconds")
-		adminAddr = flag.String("admin", "", "admin HTTP address for /metrics, /healthz and pprof (empty disables)")
-		retries   = flag.Int("max-retries", 0, "give up after this many consecutive failed dials (0 retries forever)")
+		addr        = flag.String("addr", "localhost:7341", "radard address")
+		window      = flag.Float64("window", 60, "drowsiness window in seconds")
+		adminAddr   = flag.String("admin", "", "admin HTTP address for /metrics, /healthz and pprof (empty disables)")
+		retries     = flag.Int("max-retries", 0, "give up after this many consecutive failed dials (0 retries forever)")
+		readTimeout = flag.Duration("read-timeout", 0, "per-frame read deadline; a daemon stalled longer triggers a reconnect (0 disables)")
+		resync      = flag.Bool("resync", false, "skip corrupt frames in-stream instead of reconnecting (pins the hello's bin count)")
 	)
 	flag.Parse()
 
@@ -69,9 +71,18 @@ func main() {
 
 	client := transport.NewReconnectingClient(*addr, transport.ReconnectConfig{
 		DialTimeout:            5 * time.Second,
+		ReadTimeout:            *readTimeout,
+		Resync:                 *resync,
 		MaxConsecutiveFailures: *retries,
 		Registry:               reg,
 		Logger:                 log.New(os.Stderr, "radarwatch: ", 0),
+		OnSeqGap: func(missed uint64) {
+			// Tell the pipeline about the hole so slow-time state is
+			// not concatenated across it; long gaps re-run cold start.
+			if monitor != nil {
+				monitor.NoteGap(missed)
+			}
+		},
 		OnConnect: func(h transport.StreamHello, reconnected bool) error {
 			verb := "connected"
 			if reconnected {
@@ -92,6 +103,17 @@ func main() {
 	})
 
 	err := client.Run(ctx, func(f transport.Frame) error {
+		if got := monitor.Detector().NumBins(); got != len(f.Bins) {
+			// Mid-stream geometry change without a reconnect (the
+			// radio was reconfigured under the daemon): rebuild, as a
+			// hello change would.
+			fmt.Printf("frame width changed (%d -> %d bins); resetting pipeline\n", got, len(f.Bins))
+			h, _ := client.Hello()
+			h.NumBins = uint32(len(f.Bins))
+			if err := buildMonitor(h); err != nil {
+				return err
+			}
+		}
 		ev, ok, assessment, err := monitor.Feed(f.Bins)
 		if err != nil {
 			return err
@@ -124,8 +146,13 @@ func main() {
 	})
 
 	stats := client.Stats()
-	fmt.Printf("session: %d frames, %d reconnects, %d frames lost in %d gaps\n",
-		stats.Frames, stats.Reconnects, stats.SeqGapFrames, stats.SeqGaps)
+	fmt.Printf("session: %d frames, %d reconnects, %d frames lost in %d gaps, %d corrupt frames resynced\n",
+		stats.Frames, stats.Reconnects, stats.SeqGapFrames, stats.SeqGaps, stats.Resyncs)
+	if monitor != nil {
+		in := monitor.InputStats()
+		fmt.Printf("pipeline: health %s, %d frames rejected, %d bins repaired, %d gap resets\n",
+			monitor.Health(), in.Rejected, in.RepairedBins, in.GapResets)
+	}
 	switch {
 	case err == nil, errors.Is(err, context.Canceled):
 		fmt.Println("stream ended")

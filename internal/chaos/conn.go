@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnFaults parameterises byte-level faults applied underneath the
+// frame codec on a server's accepted connections: payload corruption
+// (exercising decoder resync), abrupt connection resets (exercising
+// reconnect), and write stalls (exercising read deadlines). The zero
+// value injects nothing.
+type ConnFaults struct {
+	// Seed derives each connection's rng; connection i uses
+	// Seed + i*7919 so parallel connections stay deterministic
+	// independently of accept order races.
+	Seed int64
+	// SkipBytes protects the head of each connection from corruption —
+	// set it past the stream hello so clients can always complete the
+	// handshake.
+	SkipBytes int
+	// CorruptProb is the per-byte probability of XORing a written byte
+	// with a random non-zero mask.
+	CorruptProb float64
+	// CorruptUntilBytes stops corruption after this many bytes on the
+	// connection (0 = never stop). A clean tail lets tests assert that
+	// the final frames arrive intact.
+	CorruptUntilBytes int
+	// ResetAfterBytes abruptly closes the connection once this many
+	// bytes have been written (0 = off).
+	ResetAfterBytes int
+	// ResetConns limits resets to the first N accepted connections
+	// (0 = every connection), so a reconnecting client eventually gets
+	// a stable stream.
+	ResetConns int
+	// StallEvery inserts a write stall after every StallEvery bytes
+	// (0 = off).
+	StallEvery int
+	// StallFor is the stall duration.
+	StallFor time.Duration
+}
+
+// Enabled reports whether any byte-level fault is configured.
+func (f ConnFaults) Enabled() bool {
+	return f.CorruptProb > 0 || f.ResetAfterBytes > 0 || f.StallEvery > 0
+}
+
+// WrapListener wraps ln so every accepted connection carries the
+// configured byte-level faults. With no faults enabled ln is returned
+// unchanged.
+func WrapListener(ln net.Listener, cfg ConnFaults) net.Listener {
+	if !cfg.Enabled() {
+		return ln
+	}
+	return &faultListener{Listener: ln, cfg: cfg}
+}
+
+type faultListener struct {
+	net.Listener
+	cfg   ConnFaults
+	mu    sync.Mutex
+	conns int
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	idx := l.conns
+	l.conns++
+	l.mu.Unlock()
+	fc := &faultConn{
+		Conn: c,
+		cfg:  l.cfg,
+		rng:  rand.New(rand.NewSource(l.cfg.Seed + int64(idx)*7919)),
+	}
+	fc.reset = l.cfg.ResetAfterBytes > 0 &&
+		(l.cfg.ResetConns == 0 || idx < l.cfg.ResetConns)
+	return fc, nil
+}
+
+// faultConn mangles the written byte stream. Writes come from a single
+// goroutine per connection (the server's write loop), so the rng and
+// counters need no locking.
+type faultConn struct {
+	net.Conn
+	cfg     ConnFaults
+	rng     *rand.Rand
+	reset   bool
+	written int
+	scratch []byte
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.reset && c.written >= c.cfg.ResetAfterBytes {
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: injected connection reset after %d bytes", c.written)
+	}
+	if c.cfg.StallEvery > 0 && c.written/c.cfg.StallEvery != (c.written+len(p))/c.cfg.StallEvery {
+		time.Sleep(c.cfg.StallFor)
+	}
+	out := p
+	if c.cfg.CorruptProb > 0 {
+		if cap(c.scratch) < len(p) {
+			c.scratch = make([]byte, len(p))
+		}
+		buf := c.scratch[:len(p)]
+		copy(buf, p)
+		for i := range buf {
+			pos := c.written + i
+			if pos < c.cfg.SkipBytes {
+				continue
+			}
+			if c.cfg.CorruptUntilBytes > 0 && pos >= c.cfg.CorruptUntilBytes {
+				break
+			}
+			if c.rng.Float64() < c.cfg.CorruptProb {
+				buf[i] ^= byte(1 + c.rng.Intn(255))
+			}
+		}
+		out = buf
+	}
+	n, err := c.Conn.Write(out)
+	c.written += n
+	return n, err
+}

@@ -120,6 +120,26 @@ type Config struct {
 	// results are identical for any value, only the wall-clock time
 	// changes.
 	Parallelism int
+	// SaturationLimit clamps each I/Q component of the input to
+	// ±SaturationLimit before processing (ADC rail-out repair). Zero
+	// disables clamping — the right default for the simulated radio,
+	// whose output is already bounded.
+	SaturationLimit float64
+	// MaxBadBinFrac is the largest fraction of non-finite bins a frame
+	// may carry and still be repaired in place (bad bins patched with
+	// the last good value); frames above it are rejected whole.
+	MaxBadBinFrac float64
+	// MaxGapFrames is the longest input gap — a transport sequence gap
+	// reported via NoteGap, or a run of rejected frames — bridged
+	// without discarding tracking state. Longer gaps re-run cold start
+	// (the slow-time series has a hole the filters must not paper
+	// over). Default 50 frames = 2 s at 25 fps, matching the cold-start
+	// span.
+	MaxGapFrames int
+	// DegradedAfterRejects consecutive rejected frames switch the
+	// health state to Degraded, signalling that the input stream itself
+	// is unusable rather than momentarily glitched.
+	DegradedAfterRejects int
 }
 
 // DefaultConfig returns the paper-faithful configuration for the 25 fps
@@ -150,6 +170,10 @@ func DefaultConfig() Config {
 		RestartVarRatio:        12,
 		MotionSustainFrames:    30,
 		SettleFrames:           25,
+		SaturationLimit:        0,
+		MaxBadBinFrac:          0.25,
+		MaxGapFrames:           50,
+		DegradedAfterRejects:   25,
 	}
 }
 
@@ -204,6 +228,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: settle frames must be non-negative, got %d", c.SettleFrames)
 	case c.Parallelism < 0:
 		return fmt.Errorf("core: parallelism must be non-negative (0 = GOMAXPROCS), got %d", c.Parallelism)
+	case c.SaturationLimit < 0:
+		return fmt.Errorf("core: saturation limit must be non-negative (0 = off), got %g", c.SaturationLimit)
+	case c.MaxBadBinFrac < 0 || c.MaxBadBinFrac > 1:
+		return fmt.Errorf("core: bad-bin fraction must be in [0, 1], got %g", c.MaxBadBinFrac)
+	case c.MaxGapFrames <= 0:
+		return fmt.Errorf("core: max gap must be positive, got %d", c.MaxGapFrames)
+	case c.DegradedAfterRejects <= 0:
+		return fmt.Errorf("core: degraded threshold must be positive, got %d", c.DegradedAfterRejects)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime/metrics"
+	"sync/atomic"
 	"time"
 
 	"blinkradar/internal/obs"
@@ -24,16 +25,24 @@ type Detector struct {
 	tracker *Tracker
 	levd    *LEVD
 
-	frame       int
-	matured     bool
-	everMatured bool
-	challenger  int
-	bin         int
-	binScore    float64
-	haveBin     bool
-	settleUntil int
-	restarts    int
-	binSwitches int
+	frame        int
+	matured      bool
+	everMatured  bool
+	everSelected bool
+	challenger   int
+	bin          int
+	binScore     float64
+	haveBin      bool
+	settleUntil  int
+	restarts     int
+	binSwitches  int
+
+	// Input-sanitization and gap-handling state (see sanitize.go).
+	in            InputStats
+	consecRejects int
+	lastGood      []complex128
+	haveGood      bool
+	health        atomic.Int32 // HealthState; read cross-goroutine
 
 	// Motion-restart state.
 	restartAt int
@@ -60,6 +69,13 @@ type Detector struct {
 	mStageSelect *obs.Histogram
 	mStageTrack  *obs.Histogram
 	gAllocs      *obs.Gauge
+
+	mFramesRejected *obs.Counter
+	mBinsRepaired   *obs.Counter
+	mBinsClamped    *obs.Counter
+	mGapFrames      *obs.Counter
+	mGapResets      *obs.Counter
+	gHealth         *obs.Gauge
 
 	// Allocation sampling state (process-wide heap-object deltas from
 	// runtime/metrics, averaged over allocSampleEvery frames).
@@ -117,6 +133,7 @@ func NewDetector(cfg Config, numBins int, frameRate float64, opts ...Option) (*D
 		bin:       -1,
 		medianBuf: make([]float64, int(frameRate*2)+1),
 		scratch:   make([]complex128, numBins),
+		lastGood:  make([]complex128, numBins),
 	}, nil
 }
 
@@ -136,6 +153,13 @@ func (d *Detector) Config() Config { return d.cfg }
 //	core_stage_track_seconds     tracker+LEVD stage latency
 //	core_allocs_per_frame        process heap objects allocated per frame,
 //	                             sampled every allocSampleEvery frames
+//	core_frames_rejected_total   frames discarded by input sanitization
+//	core_bins_repaired_total     non-finite bins patched in place
+//	core_bins_clamped_total      saturated bins clamped to the limit
+//	core_seq_gap_frames_total    upstream frame losses reported via NoteGap
+//	core_gap_resets_total        re-acquisitions forced by unbridgeable gaps
+//	core_health_state            current HealthState (0=acquiring,
+//	                             1=tracking, 2=reacquiring, 3=degraded)
 func (d *Detector) SetRegistry(r *obs.Registry) {
 	d.mFrames = r.Counter("core_frames_total")
 	d.mBlinks = r.Counter("core_blinks_total")
@@ -146,6 +170,13 @@ func (d *Detector) SetRegistry(r *obs.Registry) {
 	d.mStageSelect = r.Histogram("core_stage_select_seconds", obs.DefLatencyBuckets())
 	d.mStageTrack = r.Histogram("core_stage_track_seconds", obs.DefLatencyBuckets())
 	d.gAllocs = r.Gauge("core_allocs_per_frame")
+	d.mFramesRejected = r.Counter("core_frames_rejected_total")
+	d.mBinsRepaired = r.Counter("core_bins_repaired_total")
+	d.mBinsClamped = r.Counter("core_bins_clamped_total")
+	d.mGapFrames = r.Counter("core_seq_gap_frames_total")
+	d.mGapResets = r.Counter("core_gap_resets_total")
+	d.gHealth = r.Gauge("core_health_state")
+	d.gHealth.Set(float64(d.Health()))
 	d.allocSample = []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
 }
 
@@ -209,6 +240,9 @@ func (d *Detector) BinSwitches() int { return d.binSwitches }
 // Frame returns the number of frames consumed so far.
 func (d *Detector) Frame() int { return d.frame }
 
+// NumBins returns the per-frame bin count the detector was built for.
+func (d *Detector) NumBins() int { return d.bins }
+
 // Feed consumes one radar frame (length must equal numBins). The input
 // slice is not retained or modified. It returns a detected blink and
 // true when a detection is confirmed at this frame.
@@ -227,6 +261,11 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	}
 	d.mFrames.Inc()
 	copy(d.scratch, frame)
+	if !d.sanitizeFrame(d.scratch) {
+		d.noteReject()
+		return BlinkEvent{}, false, nil
+	}
+	d.noteAccept()
 	if err := d.pre.Process(d.scratch); err != nil {
 		return BlinkEvent{}, false, err
 	}
@@ -237,7 +276,10 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	d.frame++
 
 	if !d.haveBin {
-		if d.frame >= d.cfg.ColdStartFrames {
+		// Gate on the ring, not the absolute frame count, so that a
+		// post-gap re-acquisition waits for a full window of clean
+		// frames rather than firing on a near-empty ring.
+		if d.ring.count >= d.cfg.ColdStartFrames {
 			d.selectBin(false)
 		}
 		d.pushTrace(0)
@@ -328,9 +370,11 @@ func (d *Detector) selectBin(reselect bool) {
 	d.bin = best.Bin
 	d.binScore = best.Score
 	d.haveBin = true
+	d.everSelected = true
 	d.matured = false
 	d.seedTracker()
 	d.levd.Reset()
+	d.setHealth(HealthTracking)
 	if reselect {
 		d.settleUntil = d.frame + d.cfg.SettleFrames
 	}

@@ -32,29 +32,43 @@ func ExtractWindows(events []BlinkEvent, captureSec, windowSec float64) ([]Windo
 }
 
 // ExtractWindowsFiltered is ExtractWindows with an explicit duration
-// gate; pass 0 to count every detection.
+// gate; pass 0 to count every detection. Events must be sorted by
+// Time, as the detector emits them; an out-of-order slice is rejected
+// rather than silently miscounted. The pass is single-sweep — O(events
+// + windows), not O(events × windows) — which matters for long
+// captures binned into short windows.
 func ExtractWindowsFiltered(events []BlinkEvent, captureSec, windowSec, minDuration float64) ([]WindowFeatures, error) {
 	if windowSec <= 0 {
 		return nil, fmt.Errorf("core: window must be positive, got %g", windowSec)
 	}
 	n := int(captureSec / windowSec)
-	out := make([]WindowFeatures, 0, n)
-	for w := 0; w < n; w++ {
-		from := float64(w) * windowSec
-		to := from + windowSec
-		var count int
-		var durSum float64
-		for _, e := range events {
-			if e.Time >= from && e.Time < to && e.Duration >= minDuration {
-				count++
-				durSum += e.Duration
-			}
+	if n < 0 {
+		n = 0
+	}
+	counts := make([]int, n)
+	durSums := make([]float64, n)
+	last := math.Inf(-1)
+	for i, e := range events {
+		if e.Time < last {
+			return nil, fmt.Errorf("core: events must be sorted by time: event %d at %gs precedes %gs", i, e.Time, last)
 		}
-		f := WindowFeatures{BlinkRate: float64(count) / windowSec * 60}
-		if count > 0 {
-			f.MeanBlinkDuration = durSum / float64(count)
+		last = e.Time
+		if e.Duration < minDuration || e.Time < 0 {
+			continue
 		}
-		out = append(out, f)
+		w := int(e.Time / windowSec)
+		if w >= n { // final partial window (and anything past it) is dropped
+			continue
+		}
+		counts[w]++
+		durSums[w] += e.Duration
+	}
+	out := make([]WindowFeatures, n)
+	for w := range out {
+		out[w].BlinkRate = float64(counts[w]) / windowSec * 60
+		if counts[w] > 0 {
+			out[w].MeanBlinkDuration = durSums[w] / float64(counts[w])
+		}
 	}
 	return out, nil
 }

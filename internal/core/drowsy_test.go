@@ -48,6 +48,54 @@ func TestExtractWindowsErrors(t *testing.T) {
 	}
 }
 
+func TestExtractWindowsUnsortedRejected(t *testing.T) {
+	events := []BlinkEvent{
+		{Time: 30, Duration: 0.4},
+		{Time: 10, Duration: 0.4}, // out of order
+	}
+	if _, err := ExtractWindows(events, 120, 60); err == nil {
+		t.Fatal("out-of-order events must be rejected")
+	}
+	// The order check covers gated-out events too: a mis-sorted slice is
+	// a caller bug regardless of which events survive the gate.
+	events[1].Duration = 0.01
+	if _, err := ExtractWindows(events, 120, 60); err == nil {
+		t.Fatal("out-of-order gated events must still be rejected")
+	}
+	// Equal timestamps are fine (two detections in the same frame).
+	tied := []BlinkEvent{{Time: 10, Duration: 0.4}, {Time: 10, Duration: 0.5}}
+	if _, err := ExtractWindows(tied, 60, 60); err != nil {
+		t.Fatalf("tied timestamps must be accepted: %v", err)
+	}
+}
+
+func TestExtractWindowsBoundariesAndTail(t *testing.T) {
+	events := []BlinkEvent{
+		{Time: 0, Duration: 0.4},  // first instant of window 0
+		{Time: 60, Duration: 0.4}, // first instant of window 1, not last of window 0
+		{Time: 119.9, Duration: 0.4},
+		{Time: 125, Duration: 0.4}, // partial final window: dropped
+	}
+	windows, err := ExtractWindows(events, 130, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Fatalf("%d windows, want 2 (partial tail dropped)", len(windows))
+	}
+	if windows[0].BlinkRate != 1 || windows[1].BlinkRate != 2 {
+		t.Fatalf("rates %g, %g; want 1, 2", windows[0].BlinkRate, windows[1].BlinkRate)
+	}
+	// A capture shorter than one window yields no windows and no error.
+	short, err := ExtractWindows(events, 30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 0 {
+		t.Fatalf("%d windows from a half-window capture, want 0", len(short))
+	}
+}
+
 func TestDrowsinessModelSeparatesClasses(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	mkWindows := func(rate, dur float64, n int) []WindowFeatures {

@@ -1,0 +1,61 @@
+package core
+
+// HealthState is the detector's coarse operating condition, exposed for
+// operators and supervising processes. Transitions:
+//
+//	Acquiring   → Tracking     first successful bin selection
+//	Tracking    → Reacquiring  sequence gap or reject run too long to
+//	                           bridge (Detector.NoteGap, sanitization)
+//	Tracking    → Degraded     sustained run of unusable input frames
+//	Reacquiring → Tracking     bin re-selected after ColdStartFrames of
+//	                           clean input
+//	Degraded    → Tracking/Reacquiring  first accepted frame
+//
+// The numeric values are stable and exported on the core_health_state
+// gauge.
+type HealthState int32
+
+const (
+	// HealthAcquiring is the initial cold start: no eye bin selected
+	// yet.
+	HealthAcquiring HealthState = iota
+	// HealthTracking is normal operation: an eye bin is selected and
+	// blink detection is live.
+	HealthTracking
+	// HealthReacquiring means tracking state was discarded after an
+	// unbridgeable input gap; the detector is re-running cold start on
+	// clean input. Expect Tracking again within ColdStartFrames
+	// accepted frames.
+	HealthReacquiring
+	// HealthDegraded means the input stream is currently unusable
+	// (sustained non-finite or malformed frames); detection is
+	// suspended until acceptable frames return.
+	HealthDegraded
+)
+
+// String names the state for logs and the /healthz surface.
+func (h HealthState) String() string {
+	switch h {
+	case HealthAcquiring:
+		return "acquiring"
+	case HealthTracking:
+		return "tracking"
+	case HealthReacquiring:
+		return "reacquiring"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return "unknown"
+	}
+}
+
+// Health returns the detector's current operating state. Unlike the
+// rest of Detector it is safe to call from any goroutine while Feed
+// runs.
+func (d *Detector) Health() HealthState { return HealthState(d.health.Load()) }
+
+// setHealth records a state transition and mirrors it onto the gauge.
+func (d *Detector) setHealth(h HealthState) {
+	d.health.Store(int32(h))
+	d.gHealth.Set(float64(h))
+}

@@ -191,6 +191,68 @@ func TestBackgroundSubtractorPartialPriming(t *testing.T) {
 	}
 }
 
+func TestPreprocessorResetMidPriming(t *testing.T) {
+	// Restarting the pipeline while the clutter estimate is still
+	// priming must discard the partial accumulation entirely: the next
+	// window re-primes from scratch and the frozen estimate reflects
+	// only post-reset frames. A stale partial sum here would offset
+	// every bin for the rest of the session.
+	cfg := DefaultConfig() // smoothing width 1 and FIR off: Process is background-subtract only
+	p, err := NewPreprocessor(cfg, 2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sceneA := []complex128{10 + 10i, -7}
+	sceneB := []complex128{1 + 2i, 3 - 4i}
+	frame := make([]complex128, 2)
+	// 10 of the 25 priming frames (tau 1 s at 25 fps), then restart.
+	for i := 0; i < 10; i++ {
+		copy(frame, sceneA)
+		if err := p.Process(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.background.Primed() {
+		t.Fatal("10 of 25 frames must not complete priming")
+	}
+	p.Reset()
+	if p.background.seen != 0 {
+		t.Fatalf("reset mid-prime left seen = %d, want 0", p.background.seen)
+	}
+	// The full window must re-prime: every one of the next 25 frames is
+	// part of the new estimate and comes back zeroed.
+	for i := 0; i < 25; i++ {
+		copy(frame, sceneB)
+		if err := p.Process(frame); err != nil {
+			t.Fatal(err)
+		}
+		for b, v := range frame {
+			if v != 0 {
+				t.Fatalf("re-priming frame %d bin %d = %v, want 0", i, b, v)
+			}
+		}
+	}
+	if !p.background.Primed() {
+		t.Fatal("25 post-reset frames must complete priming")
+	}
+	// The frozen estimate is scene B alone — scene A's partial sum must
+	// not leak in — so a scene-B frame cancels exactly.
+	for b, v := range p.background.Background() {
+		if cmplx.Abs(v-sceneB[b]) > 1e-12 {
+			t.Fatalf("background[%d] = %v, want %v (pre-reset frames leaked)", b, v, sceneB[b])
+		}
+	}
+	copy(frame, sceneB)
+	if err := p.Process(frame); err != nil {
+		t.Fatal(err)
+	}
+	for b, v := range frame {
+		if cmplx.Abs(v) > 1e-12 {
+			t.Fatalf("bin %d residual %v after reset and re-prime", b, v)
+		}
+	}
+}
+
 func TestPreprocessorProcessZeroAllocs(t *testing.T) {
 	cfgs := map[string]Config{"default": DefaultConfig()}
 	withFIR := DefaultConfig()

@@ -1,0 +1,169 @@
+package core
+
+import "math"
+
+// InputStats summarises the input-sanitization and gap-handling stage.
+// All counts are cumulative since construction.
+type InputStats struct {
+	// Accepted frames passed sanitization and entered the pipeline.
+	Accepted uint64
+	// Rejected frames were discarded whole (too many non-finite bins).
+	Rejected uint64
+	// RepairedBins is how many non-finite bins were patched with the
+	// last good value for that bin.
+	RepairedBins uint64
+	// ClampedBins is how many saturated bins were clamped to
+	// ±SaturationLimit.
+	ClampedBins uint64
+	// GapFrames is the total frames reported lost upstream via NoteGap.
+	GapFrames uint64
+	// GapResets is how many times tracking state was discarded because
+	// a gap or reject run was too long to bridge.
+	GapResets uint64
+}
+
+// InputStats returns the sanitization counters.
+func (d *Detector) InputStats() InputStats { return d.in }
+
+// isFinite reports whether both components of c are finite.
+//
+//blinkradar:hotpath
+func isFinite(c complex128) bool {
+	re, im := real(c), imag(c)
+	return !math.IsNaN(re) && !math.IsInf(re, 0) && !math.IsNaN(im) && !math.IsInf(im, 0)
+}
+
+// sanitizeFrame validates and repairs the raw frame in buf, in place.
+// Non-finite bins are patched with the last accepted value for that bin
+// (zero before any frame has been accepted); when more than
+// MaxBadBinFrac of the frame is non-finite the frame is rejected whole.
+// With SaturationLimit > 0, component magnitudes beyond the limit are
+// clamped (ADC rail-out repair). Returns false when the frame must be
+// discarded.
+//
+//blinkradar:hotpath
+func (d *Detector) sanitizeFrame(buf []complex128) bool {
+	bad := 0
+	for _, c := range buf {
+		if !isFinite(c) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		if float64(bad) > d.cfg.MaxBadBinFrac*float64(len(buf)) {
+			return false
+		}
+		for i, c := range buf {
+			if !isFinite(c) {
+				if d.haveGood {
+					buf[i] = d.lastGood[i]
+				} else {
+					buf[i] = 0
+				}
+				d.in.RepairedBins++
+				d.mBinsRepaired.Inc()
+			}
+		}
+	}
+	if lim := d.cfg.SaturationLimit; lim > 0 {
+		for i, c := range buf {
+			re, im := real(c), imag(c)
+			clamped := false
+			if re > lim {
+				re, clamped = lim, true
+			} else if re < -lim {
+				re, clamped = -lim, true
+			}
+			if im > lim {
+				im, clamped = lim, true
+			} else if im < -lim {
+				im, clamped = -lim, true
+			}
+			if clamped {
+				buf[i] = complex(re, im)
+				d.in.ClampedBins++
+				d.mBinsClamped.Inc()
+			}
+		}
+	}
+	copy(d.lastGood, buf)
+	d.haveGood = true
+	return true
+}
+
+// noteReject accounts one discarded frame. A reject run longer than
+// MaxGapFrames is an input gap like any other (the slow-time series has
+// a hole), so it forces re-acquisition; a run reaching
+// DegradedAfterRejects flags the stream itself as unusable.
+func (d *Detector) noteReject() {
+	d.in.Rejected++
+	d.mFramesRejected.Inc()
+	d.consecRejects++
+	if d.consecRejects == d.cfg.MaxGapFrames+1 {
+		d.reacquire()
+	}
+	if d.consecRejects >= d.cfg.DegradedAfterRejects {
+		d.setHealth(HealthDegraded)
+	}
+}
+
+// noteAccept accounts one accepted frame and, if the detector was
+// degraded, restores the appropriate working state.
+func (d *Detector) noteAccept() {
+	d.in.Accepted++
+	if d.consecRejects == 0 {
+		return
+	}
+	d.consecRejects = 0
+	if d.Health() != HealthDegraded {
+		return
+	}
+	switch {
+	case d.haveBin:
+		d.setHealth(HealthTracking)
+	case d.everSelected:
+		d.setHealth(HealthReacquiring)
+	default:
+		d.setHealth(HealthAcquiring)
+	}
+}
+
+// NoteGap informs the detector that missed frames were lost upstream
+// (e.g. a transport sequence gap). Gaps of at most MaxGapFrames are
+// bridged: the slow-time filters absorb the discontinuity. Longer gaps
+// discard tracking state and re-run cold start — concatenating across a
+// multi-second hole would hand the tracker and threshold estimator a
+// phantom step. The background clutter estimate is deliberately kept:
+// transport losses do not move the cabin.
+//
+// Like Feed, NoteGap must be called from the detector's owning
+// goroutine.
+func (d *Detector) NoteGap(missed uint64) {
+	if missed == 0 {
+		return
+	}
+	d.in.GapFrames += missed
+	d.mGapFrames.Add(missed)
+	if missed > uint64(d.cfg.MaxGapFrames) {
+		d.reacquire()
+	}
+}
+
+// reacquire discards all slow-time state (ring, tracker, LEVD, motion
+// median) while keeping the primed background estimate, and re-enters
+// cold start. The next bin selection fires once ColdStartFrames clean
+// frames have refilled the ring.
+func (d *Detector) reacquire() {
+	d.in.GapResets++
+	d.mGapResets.Inc()
+	d.ring.reset()
+	d.tracker.Reset()
+	d.levd.Reset()
+	d.haveBin = false
+	d.matured = false
+	d.challenger = -1
+	d.sustain = 0
+	d.medianPos = 0
+	d.medianCnt = 0
+	d.setHealth(HealthReacquiring)
+}

@@ -20,10 +20,16 @@ type Client struct {
 	lastSeq uint64
 	haveSeq bool
 
+	readTimeout time.Duration
+	seenResyncs uint64
+	seenSkipped uint64
+
 	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
-	mFrames    *obs.Counter
-	mSeqGaps   *obs.Counter
-	mGapFrames *obs.Counter
+	mFrames      *obs.Counter
+	mSeqGaps     *obs.Counter
+	mGapFrames   *obs.Counter
+	mResyncs     *obs.Counter
+	mResyncBytes *obs.Counter
 }
 
 // Dial connects to a radar server and reads the stream hello.
@@ -57,14 +63,52 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 //	transport_client_frames_received_total  frames decoded from the wire
 //	transport_client_seq_gaps_total         discontinuities in Frame.Seq
 //	transport_client_seq_gap_frames_total   frames lost across all gaps
+//	transport_client_resyncs_total          corrupt frames skipped in-stream
+//	transport_client_resync_bytes_total     garbage bytes discarded realigning
 func (c *Client) SetRegistry(r *obs.Registry) {
 	c.mFrames = r.Counter("transport_client_frames_received_total")
 	c.mSeqGaps = r.Counter("transport_client_seq_gaps_total")
 	c.mGapFrames = r.Counter("transport_client_seq_gap_frames_total")
+	c.mResyncs = r.Counter("transport_client_resyncs_total")
+	c.mResyncBytes = r.Counter("transport_client_resync_bytes_total")
 }
 
 // Hello returns the stream geometry announced by the server.
 func (c *Client) Hello() StreamHello { return c.hello }
+
+// SetReadTimeout bounds each frame read: if the server stalls for
+// longer than d, the pending read fails and the stream ends (a
+// reconnecting consumer then redials instead of hanging on a dead but
+// unclosed connection). Zero disables the deadline.
+func (c *Client) SetReadTimeout(d time.Duration) { c.readTimeout = d }
+
+// EnableResync makes the client skip corrupt frames in-stream instead
+// of failing the connection (see Decoder.EnableResync). Skipped frames
+// surface downstream as sequence gaps. Resync pins the bin count to
+// the hello's announcement, so a corrupted length field cannot stall
+// the stream on a phantom payload — which also means a resyncing
+// client treats a mid-stream geometry change as corruption.
+func (c *Client) EnableResync() {
+	c.dec.EnableResync()
+	c.dec.SetExpectedBins(c.hello.NumBins)
+}
+
+// Resyncs reports the corrupt frames skipped and garbage bytes
+// discarded on this connection.
+func (c *Client) Resyncs() (frames, bytesSkipped uint64) { return c.dec.Resyncs() }
+
+// harvestResyncs moves new decoder resync accounting into the metrics.
+func (c *Client) harvestResyncs() {
+	frames, skipped := c.dec.Resyncs()
+	if d := frames - c.seenResyncs; d > 0 {
+		c.mResyncs.Add(d)
+		c.seenResyncs = frames
+	}
+	if d := skipped - c.seenSkipped; d > 0 {
+		c.mResyncBytes.Add(d)
+		c.seenSkipped = skipped
+	}
+}
 
 // Next reads the next frame. It honours the context by closing the
 // connection on cancellation, which unblocks the pending read.
@@ -74,7 +118,13 @@ func (c *Client) Next(ctx context.Context) (Frame, error) {
 	}
 	stop := context.AfterFunc(ctx, func() { c.conn.Close() })
 	defer stop()
+	if c.readTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return Frame{}, fmt.Errorf("transport: set read deadline: %w", err)
+		}
+	}
 	f, err := c.dec.Decode()
+	c.harvestResyncs()
 	if err != nil {
 		if ctx.Err() != nil {
 			return Frame{}, ctx.Err()

@@ -8,11 +8,19 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 )
+
+// ErrCorruptFrame marks a framing-level decode failure — bad magic,
+// unsupported version, implausible bin count, or CRC mismatch — as
+// opposed to an I/O error. A decoder in resync mode recovers from these
+// by scanning forward to the next frame boundary; everything else
+// (connection loss, clean EOF) still terminates the stream.
+var ErrCorruptFrame = errors.New("transport: corrupt frame")
 
 // Protocol constants.
 const (
@@ -66,7 +74,7 @@ const helloSize = 28
 
 // EncodeHello writes the stream hello to w.
 func EncodeHello(w io.Writer, h StreamHello) error {
-	if h.FrameRate <= 0 || h.BinSpacing <= 0 || h.NumBins == 0 {
+	if !plausibleHello(h) {
 		return fmt.Errorf("transport: invalid hello %+v", h)
 	}
 	buf := make([]byte, helloSize)
@@ -103,10 +111,20 @@ func DecodeHello(r io.Reader) (StreamHello, error) {
 		BinSpacing: math.Float64frombits(binary.BigEndian.Uint64(buf[12:])),
 		NumBins:    binary.BigEndian.Uint32(buf[20:]),
 	}
-	if h.FrameRate <= 0 || h.BinSpacing <= 0 || h.NumBins == 0 || h.NumBins > MaxBins {
+	if !plausibleHello(h) {
 		return StreamHello{}, fmt.Errorf("transport: implausible hello %+v", h)
 	}
 	return h, nil
+}
+
+// plausibleHello validates the geometry announcement: rates must be
+// finite and positive (NaN fails the comparison, infinities are checked
+// explicitly) and the bin count in range. Shared by encode and decode so
+// nothing one side accepts can poison the other.
+func plausibleHello(h StreamHello) bool {
+	return h.FrameRate > 0 && !math.IsInf(h.FrameRate, 1) &&
+		h.BinSpacing > 0 && !math.IsInf(h.BinSpacing, 1) &&
+		h.NumBins >= 1 && h.NumBins <= MaxBins
 }
 
 // Encoder writes frames to an underlying stream. It buffers internally;
@@ -159,21 +177,99 @@ func (e *Encoder) Flush() error {
 	return nil
 }
 
-// Decoder reads frames from an underlying stream.
+// Decoder reads frames from an underlying stream. By default any
+// corruption terminates the stream with ErrCorruptFrame; EnableResync
+// switches to in-stream recovery, where a corrupt frame is discarded
+// and decoding realigns on the next plausible frame header.
 type Decoder struct {
-	r   *bufio.Reader
-	buf []byte
+	r      *bufio.Reader
+	buf    []byte
+	header []byte
+
+	resync      bool
+	expectBins  uint32
+	resyncs     uint64
+	skippedByte uint64
 }
 
 // NewDecoder wraps r.
 func NewDecoder(r io.Reader) *Decoder {
-	return &Decoder{r: bufio.NewReader(r)}
+	return &Decoder{r: bufio.NewReader(r), header: make([]byte, headerSize)}
+}
+
+// EnableResync makes Decode recover from corrupt frames by scanning
+// forward to the next frame boundary instead of failing the stream.
+// Intended for live links, where tearing the connection down over one
+// damaged packet costs a reconnect and every frame in between.
+func (d *Decoder) EnableResync() { d.resync = true }
+
+// SetExpectedBins pins the per-frame bin count (0 lifts the pin). A
+// header announcing any other count is treated as corrupt, which stops
+// a damaged length field from stalling the stream on a giant phantom
+// payload and sharpens resync's header validation. Streams whose
+// geometry legitimately changes mid-connection must not pin.
+func (d *Decoder) SetExpectedBins(n uint32) { d.expectBins = n }
+
+// Resyncs reports how many corrupt frames were skipped and how many
+// inter-frame garbage bytes were discarded while realigning.
+func (d *Decoder) Resyncs() (frames, bytesSkipped uint64) {
+	return d.resyncs, d.skippedByte
 }
 
 // Decode reads one frame. It returns io.EOF (possibly wrapped) when the
-// stream ends cleanly at a packet boundary.
+// stream ends cleanly at a packet boundary. With resync enabled,
+// corrupt frames are skipped transparently (see Resyncs for the
+// accounting); otherwise they surface as errors matching
+// ErrCorruptFrame.
 func (d *Decoder) Decode() (Frame, error) {
-	header := make([]byte, headerSize)
+	f, err := d.decodeOnce()
+	for err != nil && d.resync && errors.Is(err, ErrCorruptFrame) {
+		d.resyncs++
+		if serr := d.seekMagic(); serr != nil {
+			return Frame{}, serr
+		}
+		f, err = d.decodeOnce()
+	}
+	return f, err
+}
+
+// seekMagic discards bytes until the reader is positioned at a
+// plausible frame header (magic, supported version, sane bin count).
+// The header is only peeked, never consumed, so a false positive costs
+// one failed decode and another scan rather than lost alignment.
+func (d *Decoder) seekMagic() error {
+	for {
+		p, err := d.r.Peek(2)
+		if err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("transport: resync scan: %w", err)
+		}
+		if binary.BigEndian.Uint16(p) == Magic {
+			hdr, herr := d.r.Peek(headerSize)
+			if herr != nil {
+				// Short stream: let the decode attempt surface the
+				// truncation as its own error.
+				return nil
+			}
+			if hdr[2] == Version {
+				n := binary.BigEndian.Uint32(hdr[20:])
+				if n >= 1 && n <= MaxBins && (d.expectBins == 0 || n == d.expectBins) {
+					return nil
+				}
+			}
+		}
+		if _, err := d.r.Discard(1); err != nil {
+			return fmt.Errorf("transport: resync scan: %w", err)
+		}
+		d.skippedByte++
+	}
+}
+
+// decodeOnce reads one frame at the current stream position.
+func (d *Decoder) decodeOnce() (Frame, error) {
+	header := d.header
 	if _, err := io.ReadFull(d.r, header); err != nil {
 		if err == io.EOF {
 			return Frame{}, io.EOF
@@ -181,14 +277,14 @@ func (d *Decoder) Decode() (Frame, error) {
 		return Frame{}, fmt.Errorf("transport: read header: %w", err)
 	}
 	if m := binary.BigEndian.Uint16(header[0:]); m != Magic {
-		return Frame{}, fmt.Errorf("transport: bad magic %#x", m)
+		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrCorruptFrame, m)
 	}
 	if v := header[2]; v != Version {
-		return Frame{}, fmt.Errorf("transport: unsupported version %d", v)
+		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrCorruptFrame, v)
 	}
 	n := binary.BigEndian.Uint32(header[20:])
-	if n == 0 || n > MaxBins {
-		return Frame{}, fmt.Errorf("transport: implausible bin count %d", n)
+	if n == 0 || n > MaxBins || (d.expectBins != 0 && n != d.expectBins) {
+		return Frame{}, fmt.Errorf("%w: implausible bin count %d", ErrCorruptFrame, n)
 	}
 	payload := int(n)*8 + 4
 	if cap(d.buf) < payload {
@@ -201,7 +297,7 @@ func (d *Decoder) Decode() (Frame, error) {
 	crc := crc32.ChecksumIEEE(header)
 	crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-4])
 	if got := binary.BigEndian.Uint32(body[len(body)-4:]); got != crc {
-		return Frame{}, fmt.Errorf("transport: frame CRC mismatch %#x != %#x", got, crc)
+		return Frame{}, fmt.Errorf("%w: CRC mismatch %#x != %#x", ErrCorruptFrame, got, crc)
 	}
 	f := Frame{
 		Seq:             binary.BigEndian.Uint64(header[4:]),

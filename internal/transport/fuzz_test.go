@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// frameBytes encodes f into a fresh byte slice.
+func frameBytes(tb testing.TB, f Frame) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(f); err != nil {
+		tb.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame drives the frame decoder — in strict and resync mode,
+// pinned and unpinned — with arbitrary byte streams and checks its
+// structural invariants: no panics, every decoded frame has a plausible
+// bin count consistent with the pin, the decoder never fabricates more
+// payload than the input held (its allocations are bounded by the
+// input), and every accepted frame survives an encode/decode round
+// trip bit-exactly.
+func FuzzDecodeFrame(f *testing.F) {
+	valid := frameBytes(f, Frame{Seq: 7, TimestampMicros: 12345, Bins: []complex128{1 + 2i, complex(-0.5, 0.25), 0, complex(3e4, -3e4)}})
+	f.Add(valid, uint8(0))
+	f.Add(valid[:len(valid)-3], uint8(1))                       // truncated tail
+	f.Add(append([]byte{0xde, 0xad, 0xbe}, valid...), uint8(1)) // garbage prefix, resync recovers
+	f.Add(append(append([]byte{}, valid...), valid...), uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xb1, 0x1c, 0x01, 0x00}, uint8(1)) // magic+version, then truncation
+	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		if len(data) > 1<<20 {
+			return // decode cost is linear in the input; keep iterations fast
+		}
+		dec := NewDecoder(bytes.NewReader(data))
+		resync := mode&1 != 0
+		if resync {
+			dec.EnableResync()
+		}
+		const pinned = 4 // matches the seed frame's bin count
+		if mode&2 != 0 {
+			dec.SetExpectedBins(pinned)
+		}
+		var consumed int
+		for {
+			fr, err := dec.Decode()
+			if err != nil {
+				break // EOF, truncation, or (strict mode) corruption
+			}
+			n := len(fr.Bins)
+			if n < 1 || n > MaxBins {
+				t.Fatalf("decoded frame with %d bins, want 1..%d", n, MaxBins)
+			}
+			if mode&2 != 0 && n != pinned {
+				t.Fatalf("pinned decoder produced %d bins, want %d", n, pinned)
+			}
+			// A CRC-valid frame can only come from bytes actually present
+			// in the input, so total decoded wire size is bounded by it.
+			consumed += headerSize + n*8 + 4
+			if consumed > len(data) {
+				t.Fatalf("decoded %d wire bytes from a %d-byte input", consumed, len(data))
+			}
+			// Payloads are float32 on the wire, so a decoded frame
+			// re-encodes bit-exactly.
+			redec := NewDecoder(bytes.NewReader(frameBytes(t, fr)))
+			back, err := redec.Decode()
+			if err != nil {
+				t.Fatalf("re-decoding an accepted frame: %v", err)
+			}
+			if back.Seq != fr.Seq || back.TimestampMicros != fr.TimestampMicros || len(back.Bins) != n {
+				t.Fatalf("round trip changed the frame: %+v != %+v", back, fr)
+			}
+			for i := range fr.Bins {
+				a, b := fr.Bins[i], back.Bins[i]
+				same := func(x, y float64) bool {
+					return math.Float64bits(x) == math.Float64bits(y)
+				}
+				if !same(real(a), real(b)) || !same(imag(a), imag(b)) {
+					t.Fatalf("bin %d changed in round trip: %v != %v", i, a, b)
+				}
+			}
+		}
+		if !resync {
+			return
+		}
+		// Resync accounting never exceeds the input either.
+		skippedFrames, skippedBytes := dec.Resyncs()
+		if skippedBytes > uint64(len(data)) {
+			t.Fatalf("resync skipped %d bytes of a %d-byte input", skippedBytes, len(data))
+		}
+		if skippedFrames > uint64(len(data)) {
+			t.Fatalf("resync skipped %d frames in a %d-byte input", skippedFrames, len(data))
+		}
+	})
+}
+
+// FuzzDecodeHello checks the hello decoder: no panics, anything it
+// accepts is plausible (finite positive rates, in-range bin count), and
+// accepted hellos survive an encode/decode round trip.
+func FuzzDecodeHello(f *testing.F) {
+	var buf bytes.Buffer
+	if err := EncodeHello(&buf, StreamHello{FrameRate: 25, BinSpacing: 0.0107, NumBins: 40}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	corrupt := append([]byte{}, valid...)
+	corrupt[5] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !(h.FrameRate > 0) || math.IsInf(h.FrameRate, 0) {
+			t.Fatalf("accepted non-finite frame rate %v", h.FrameRate)
+		}
+		if !(h.BinSpacing > 0) || math.IsInf(h.BinSpacing, 0) {
+			t.Fatalf("accepted non-finite bin spacing %v", h.BinSpacing)
+		}
+		if h.NumBins < 1 || h.NumBins > MaxBins {
+			t.Fatalf("accepted bin count %d, want 1..%d", h.NumBins, MaxBins)
+		}
+		var out bytes.Buffer
+		if err := EncodeHello(&out, h); err != nil {
+			t.Fatalf("re-encoding an accepted hello: %v", err)
+		}
+		back, err := DecodeHello(&out)
+		if err != nil {
+			t.Fatalf("re-decoding an accepted hello: %v", err)
+		}
+		if back != h {
+			t.Fatalf("round trip changed the hello: %+v != %+v", back, h)
+		}
+	})
+}

@@ -52,9 +52,26 @@ type ReconnectConfig struct {
 	// DialTimeout bounds each connection attempt, hello included
 	// (default 3 s).
 	DialTimeout time.Duration
+	// ReadTimeout bounds each frame read once connected: a server that
+	// stalls longer than this fails the stream and triggers a
+	// reconnect, instead of the client hanging on a dead but unclosed
+	// connection. Zero disables the deadline.
+	ReadTimeout time.Duration
+	// Resync makes each connection skip corrupt frames in-stream (see
+	// Decoder.EnableResync) instead of failing the stream and paying a
+	// full reconnect per damaged packet. Skipped frames surface as
+	// sequence gaps.
+	Resync bool
 	// MaxConsecutiveFailures aborts Run after this many dial failures
 	// in a row with the last error; 0 retries forever.
 	MaxConsecutiveFailures int
+	// OnSeqGap, when non-nil, runs on the Run goroutine whenever a
+	// forward sequence discontinuity is observed, with the number of
+	// frames lost. Consumers use it to tell their pipeline about the
+	// gap (e.g. core.Detector.NoteGap) so slow-time state is not
+	// silently concatenated across it. Epoch resets (sequence moving
+	// backwards) do not fire it: no loss can be attributed.
+	OnSeqGap func(missed uint64)
 	// OnConnect, when non-nil, runs after every successful dial with
 	// the announced geometry and whether this is a reconnect. A non-nil
 	// error aborts Run.
@@ -89,6 +106,10 @@ type ReconnectStats struct {
 	EpochResets uint64
 	// Frames counts frames delivered to the callback.
 	Frames uint64
+	// Resyncs counts corrupt frames skipped in-stream (Resync mode).
+	Resyncs uint64
+	// ResyncBytes totals the garbage bytes discarded while realigning.
+	ResyncBytes uint64
 }
 
 // ReconnectingClient wraps Dial/Run with automatic reconnection so a
@@ -114,6 +135,8 @@ type ReconnectingClient struct {
 	mSeqGaps      *obs.Counter
 	mGapFrames    *obs.Counter
 	mEpochResets  *obs.Counter
+	mResyncs      *obs.Counter
+	mResyncBytes  *obs.Counter
 }
 
 // NewReconnectingClient builds a reconnecting consumer of the radar
@@ -137,6 +160,8 @@ func NewReconnectingClient(addr string, cfg ReconnectConfig) *ReconnectingClient
 		rc.mSeqGaps = r.Counter("transport_client_seq_gaps_total")
 		rc.mGapFrames = r.Counter("transport_client_seq_gap_frames_total")
 		rc.mEpochResets = r.Counter("transport_epoch_resets_total")
+		rc.mResyncs = r.Counter("transport_client_resyncs_total")
+		rc.mResyncBytes = r.Counter("transport_client_resync_bytes_total")
 	}
 	return rc
 }
@@ -200,6 +225,12 @@ func (rc *ReconnectingClient) Run(ctx context.Context, fn func(Frame) error) err
 		failures = 0
 		backoff = rc.cfg.Backoff.Initial
 
+		if rc.cfg.ReadTimeout > 0 {
+			c.SetReadTimeout(rc.cfg.ReadTimeout)
+		}
+		if rc.cfg.Resync {
+			c.EnableResync()
+		}
 		if err := rc.connected(c.Hello()); err != nil {
 			c.Close()
 			return err
@@ -212,6 +243,7 @@ func (rc *ReconnectingClient) Run(ctx context.Context, fn func(Frame) error) err
 			}
 			return nil
 		})
+		rc.harvestResyncs(c)
 		c.Close()
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -262,13 +294,13 @@ func (rc *ReconnectingClient) connected(h StreamHello) error {
 
 // trackSeq maintains gap accounting across frames and reconnects.
 func (rc *ReconnectingClient) trackSeq(seq uint64) {
+	var gap uint64
 	rc.mu.Lock()
-	defer rc.mu.Unlock()
 	rc.stats.Frames++
 	switch {
 	case !rc.haveSeq:
 	case seq > rc.lastSeq+1:
-		gap := seq - rc.lastSeq - 1
+		gap = seq - rc.lastSeq - 1
 		rc.stats.SeqGaps++
 		rc.stats.SeqGapFrames += gap
 		rc.mSeqGaps.Inc()
@@ -279,6 +311,26 @@ func (rc *ReconnectingClient) trackSeq(seq uint64) {
 	}
 	rc.lastSeq = seq
 	rc.haveSeq = true
+	rc.mu.Unlock()
+	// Fire outside the lock so the callback may call Stats.
+	if gap > 0 && rc.cfg.OnSeqGap != nil {
+		rc.cfg.OnSeqGap(gap)
+	}
+}
+
+// harvestResyncs folds one connection's resync accounting into the
+// lifetime stats when the connection ends.
+func (rc *ReconnectingClient) harvestResyncs(c *Client) {
+	frames, skipped := c.Resyncs()
+	if frames == 0 && skipped == 0 {
+		return
+	}
+	rc.mu.Lock()
+	rc.stats.Resyncs += frames
+	rc.stats.ResyncBytes += skipped
+	rc.mu.Unlock()
+	rc.mResyncs.Add(frames)
+	rc.mResyncBytes.Add(skipped)
 }
 
 // sleep waits for d or the context, whichever comes first.

@@ -119,6 +119,13 @@ type Server struct {
 	// first client arrives.
 	minClients int
 	startSeq   uint64
+	// hook is the frame middleware (fault injection, filtering); see
+	// SetFrameHook.
+	hook func(Frame) []Frame
+	// writeTimeout bounds each per-client frame write (0 = none).
+	writeTimeout time.Duration
+	// slowPolicy selects what happens to a client whose queue is full.
+	slowPolicy SlowPolicy
 
 	mu      sync.Mutex
 	clients map[*client]struct{}
@@ -129,13 +136,31 @@ type Server struct {
 	conns sync.WaitGroup
 
 	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
-	mFramesPumped *obs.Counter
-	mSlowDrops    *obs.Counter
-	mBytesWritten *obs.Counter
-	mConnects     *obs.Counter
-	gClients      *obs.Gauge
-	gQueueDepth   *obs.Gauge
+	mFramesPumped   *obs.Counter
+	mSlowDrops      *obs.Counter
+	mSlowFrameDrops *obs.Counter
+	mBytesWritten   *obs.Counter
+	mConnects       *obs.Counter
+	gClients        *obs.Gauge
+	gQueueDepth     *obs.Gauge
 }
+
+// SlowPolicy selects how the server treats a client whose per-client
+// queue is full when a frame is broadcast.
+type SlowPolicy int
+
+const (
+	// DisconnectSlowClients cuts the client loose (the historical
+	// behaviour): a consumer that cannot keep up with the radio is
+	// better served by a clean reconnect than an ever-growing backlog.
+	DisconnectSlowClients SlowPolicy = iota
+	// DropFramesForSlowClients skips the frame for that client and
+	// keeps the connection. The client observes the loss as a sequence
+	// gap — the graceful-degradation choice for consumers that handle
+	// gaps (see core.Detector.NoteGap) and for stalls that are
+	// transient rather than systemic.
+	DropFramesForSlowClients
+)
 
 type client struct {
 	conn net.Conn
@@ -164,6 +189,8 @@ func NewServer(src FrameSource, logger *log.Logger) *Server {
 //
 //	transport_server_frames_pumped_total    frames read from the source
 //	transport_server_slow_client_drops_total clients cut for falling behind
+//	transport_server_slow_frame_drops_total frames skipped for slow clients
+//	                                        (DropFramesForSlowClients)
 //	transport_server_bytes_written_total    wire bytes sent to clients
 //	transport_server_connects_total         client connections accepted
 //	transport_server_clients                current subscriber count
@@ -172,11 +199,32 @@ func NewServer(src FrameSource, logger *log.Logger) *Server {
 func (s *Server) SetRegistry(r *obs.Registry) {
 	s.mFramesPumped = r.Counter("transport_server_frames_pumped_total")
 	s.mSlowDrops = r.Counter("transport_server_slow_client_drops_total")
+	s.mSlowFrameDrops = r.Counter("transport_server_slow_frame_drops_total")
 	s.mBytesWritten = r.Counter("transport_server_bytes_written_total")
 	s.mConnects = r.Counter("transport_server_connects_total")
 	s.gClients = r.Gauge("transport_server_clients")
 	s.gQueueDepth = r.Gauge("transport_server_max_queue_depth")
 }
+
+// SetFrameHook installs a per-frame middleware invoked on the pump
+// goroutine after sequence assignment and before broadcast. The hook
+// may return the frame unchanged, mutate it, drop it (empty return) or
+// emit several frames (duplication, reordering) — the chaos package's
+// injectors compose through exactly this surface. Dropped frames still
+// consume a sequence number, so downstream gap accounting sees them as
+// lost. Call before Serve; a nil hook passes frames through.
+func (s *Server) SetFrameHook(hook func(Frame) []Frame) { s.hook = hook }
+
+// SetWriteTimeout bounds each per-client frame write. A peer that
+// stops draining its socket for longer than d fails the write and is
+// dropped, instead of pinning the write loop (and, at shutdown, the
+// Serve join) indefinitely. Zero disables the deadline. Call before
+// Serve.
+func (s *Server) SetWriteTimeout(d time.Duration) { s.writeTimeout = d }
+
+// SetSlowPolicy selects the treatment of clients whose queue is full
+// at broadcast time. Call before Serve.
+func (s *Server) SetSlowPolicy(p SlowPolicy) { s.slowPolicy = p }
 
 // SetStartSeq makes the stream's sequence numbers begin at n instead of
 // zero — a daemon that persists its frame counter across restarts uses
@@ -266,6 +314,9 @@ func (s *Server) writeLoop(c *client) {
 	}
 	enc := NewEncoder(w)
 	for f := range c.ch {
+		if s.writeTimeout > 0 {
+			_ = c.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if err := enc.Encode(f); err != nil {
 			s.logger.Printf("send to %s failed: %v", c.conn.RemoteAddr(), err)
 			return
@@ -324,7 +375,13 @@ func (s *Server) pump(ctx context.Context) error {
 		}
 		s.seq++
 		s.mFramesPumped.Inc()
-		s.broadcast(f)
+		if s.hook == nil {
+			s.broadcast(f)
+			continue
+		}
+		for _, out := range s.hook(f) {
+			s.broadcast(out)
+		}
 	}
 }
 
@@ -339,6 +396,12 @@ func (s *Server) broadcast(f Frame) {
 				maxDepth = d
 			}
 		default:
+			if s.slowPolicy == DropFramesForSlowClients {
+				// Skip this frame for this client; the loss surfaces
+				// downstream as a sequence gap.
+				s.mSlowFrameDrops.Inc()
+				continue
+			}
 			// Client cannot keep up with the radio; cut it loose.
 			stale = append(stale, c)
 		}

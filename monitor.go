@@ -185,5 +185,24 @@ func (m *Monitor) Events() []BlinkEvent {
 	return out
 }
 
+// NoteGap forwards an upstream frame loss (e.g. a transport sequence
+// gap) to the detector. When the gap was too long to bridge and the
+// detector discarded tracking state, the vital-sign window — which
+// would otherwise silently span the hole — is invalidated too.
+func (m *Monitor) NoteGap(missed uint64) {
+	m.det.NoteGap(missed)
+	if m.det.Health() != HealthTracking {
+		m.vitals.Reset()
+		m.vitalsBin = -1
+	}
+}
+
+// Health reports the detector's operating state. Safe to call from any
+// goroutine while Feed runs.
+func (m *Monitor) Health() HealthState { return m.det.Health() }
+
+// InputStats reports the detector's input-sanitization counters.
+func (m *Monitor) InputStats() InputStats { return m.det.InputStats() }
+
 // Detector exposes the underlying pipeline for diagnostics.
 func (m *Monitor) Detector() *Detector { return m.det }
