@@ -10,12 +10,15 @@
 package blinkradar_test
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"blinkradar"
 	"blinkradar/internal/core"
 	"blinkradar/internal/dsp"
 	"blinkradar/internal/experiments"
+	"blinkradar/internal/iq"
 )
 
 // benchCfg is the paper-faithful pipeline configuration shared by all
@@ -407,6 +410,78 @@ func BenchmarkPreprocessorProcess(b *testing.B) {
 		if err := p.Process(frame); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSlidingMoments measures the tracker's steady-state moment
+// kernel at the deployed window size: one push/evict pair per frame, an
+// O(1) Pratt solve from the cached sums every refit interval, and the
+// periodic exact renormalization pass, all amortised into the per-frame
+// figure. The batch fit this replaces costs O(window) per refit.
+func BenchmarkSlidingMoments(b *testing.B) {
+	cfg := core.DefaultConfig()
+	window := cfg.FitWindowFrames
+	refitEvery := cfg.RefitIntervalFrames
+	win := make([]complex128, window)
+	for i := range win {
+		// A noisy arc, the geometry the tracker actually sees.
+		th := 0.4 * math.Sin(2*math.Pi*float64(i)/float64(window))
+		win[i] = complex(2+math.Cos(th)+1e-3*float64(i%7), 1+math.Sin(th))
+	}
+	mom := iq.NewSlidingMoments(window)
+	for _, z := range win {
+		mom.Push(z)
+	}
+	pos := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mom.Evict(win[pos])
+		mom.Push(win[pos])
+		pos++
+		if pos == window {
+			pos = 0
+		}
+		if mom.NeedsRenorm() {
+			mom.Renormalize(win)
+		}
+		if i%refitEvery == 0 {
+			if _, err := mom.FitPratt(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStreamingMedian measures the motion-restart gate's median
+// kernel at the deployed window size (two seconds of frames): one
+// sorted-ring remove/insert plus a median read per frame.
+func BenchmarkStreamingMedian(b *testing.B) {
+	capacity := int(core.DefaultConfig().ColdStartFrames) // ~2 s of frames
+	if capacity%2 == 0 {
+		capacity++
+	}
+	med, err := dsp.NewStreamingMedian(capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	for i := 0; i < capacity; i++ {
+		med.Push(vals[i])
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		med.Push(vals[i%len(vals)])
+		sink += med.Median()
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("median went NaN")
 	}
 }
 

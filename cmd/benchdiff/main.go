@@ -7,16 +7,24 @@
 // Usage:
 //
 //	go run ./cmd/benchdiff -input bench.txt \
-//	    -max Fig7NoiseReduction=0 -max Fig10BinSelection=37
+//	    -max Fig7NoiseReduction=0 -max Fig10BinSelection=37 \
+//	    -json baseline.json
 //
 // Benchmark names are matched without the "Benchmark" prefix and the
 // -GOMAXPROCS suffix, so budgets stay stable across machines. When a
 // benchmark appears several times (e.g. -count > 1), the worst run is
 // compared against the budget.
+//
+// Alongside allocs/op the parser records ns/op, and -json writes every
+// parsed benchmark to a baseline file. Committed baselines (BENCH_*.json)
+// document each PR's measured figures; the timing numbers are
+// machine-dependent and deliberately not gated, only the allocation
+// counts are.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +33,13 @@ import (
 	"strconv"
 	"strings"
 )
+
+// result holds the parsed figures of one benchmark: the worst run's
+// wall time and allocation count.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+}
 
 // budgets is a repeatable -max Name=N flag.
 type budgets map[string]uint64
@@ -54,10 +69,11 @@ func (b budgets) Set(s string) error {
 func main() {
 	lim := budgets{}
 	input := flag.String("input", "bench.txt", "benchmark output to check (- for stdin)")
+	jsonOut := flag.String("json", "", "write parsed results to this JSON baseline file")
 	flag.Var(lim, "max", "allocation budget Name=N (repeatable)")
 	flag.Parse()
-	if len(lim) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no -max budgets given")
+	if len(lim) == 0 && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: no -max budgets or -json output given")
 		os.Exit(2)
 	}
 	r := io.Reader(os.Stdin)
@@ -75,10 +91,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(results), *jsonOut)
+	}
 	violations := check(results, lim)
-	for name, allocs := range results {
+	for name, res := range results {
 		if limit, ok := lim[name]; ok {
-			fmt.Printf("benchdiff: %s: %d allocs/op (budget %d)\n", name, allocs, limit)
+			fmt.Printf("benchdiff: %s: %d allocs/op (budget %d), %.0f ns/op\n",
+				name, res.AllocsPerOp, limit, res.NsPerOp)
 		}
 	}
 	if len(violations) > 0 {
@@ -87,39 +111,71 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Println("benchdiff: all allocation budgets met")
+	if len(lim) > 0 {
+		fmt.Println("benchdiff: all allocation budgets met")
+	}
 }
 
-// parseBench extracts allocs/op per benchmark from -benchmem output.
-// Names are normalised by stripping the Benchmark prefix and the
-// -GOMAXPROCS suffix; repeated runs keep the worst figure.
-func parseBench(r io.Reader) (map[string]uint64, error) {
-	results := make(map[string]uint64)
+// parseBench extracts ns/op and allocs/op per benchmark from -benchmem
+// output. Names are normalised by stripping the Benchmark prefix and
+// the -GOMAXPROCS suffix; repeated runs keep the worst figure of each
+// metric independently.
+func parseBench(r io.Reader) (map[string]result, error) {
+	results := make(map[string]result)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
+		var res result
+		var sawAllocs bool
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "allocs/op" {
-				continue
+			switch fields[i] {
+			case "ns/op":
+				ns, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in line %q: %v", sc.Text(), err)
+				}
+				res.NsPerOp = ns
+			case "allocs/op":
+				allocs, err := strconv.ParseUint(fields[i-1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in line %q: %v", sc.Text(), err)
+				}
+				res.AllocsPerOp = allocs
+				sawAllocs = true
 			}
-			allocs, err := strconv.ParseUint(fields[i-1], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad allocs/op in line %q: %v", sc.Text(), err)
-			}
-			name := normalize(fields[0])
-			if prev, ok := results[name]; !ok || allocs > prev {
-				results[name] = allocs
-			}
-			break
 		}
+		if !sawAllocs {
+			continue
+		}
+		name := normalize(fields[0])
+		if prev, ok := results[name]; ok {
+			if prev.AllocsPerOp > res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.NsPerOp > res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+		}
+		results[name] = res
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// writeBaseline marshals the results to an indented JSON object keyed
+// by benchmark name (encoding/json sorts map keys, so the file diffs
+// cleanly across runs).
+func writeBaseline(path string, results map[string]result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // normalize strips the Benchmark prefix and the -GOMAXPROCS suffix:
@@ -136,7 +192,7 @@ func normalize(name string) string {
 
 // check returns one violation per budgeted benchmark that is either
 // missing from the results or above its allocation budget.
-func check(results map[string]uint64, lim budgets) []string {
+func check(results map[string]result, lim budgets) []string {
 	names := make([]string, 0, len(lim))
 	for name := range lim {
 		names = append(names, name)
@@ -144,13 +200,13 @@ func check(results map[string]uint64, lim budgets) []string {
 	sort.Strings(names)
 	var violations []string
 	for _, name := range names {
-		allocs, ok := results[name]
+		res, ok := results[name]
 		if !ok {
 			violations = append(violations, fmt.Sprintf("benchmark %s not found in input", name))
 			continue
 		}
-		if allocs > lim[name] {
-			violations = append(violations, fmt.Sprintf("%s: %d allocs/op exceeds budget %d", name, allocs, lim[name]))
+		if res.AllocsPerOp > lim[name] {
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op exceeds budget %d", name, res.AllocsPerOp, lim[name]))
 		}
 	}
 	return violations

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -21,28 +24,41 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]uint64{
-		"Fig7NoiseReduction":        0,
-		"Fig10BinSelection":         37,
-		"Fig8BackgroundSubtraction": 12345,
+	want := map[string]result{
+		"Fig7NoiseReduction":        {NsPerOp: 9876543, AllocsPerOp: 0},
+		"Fig10BinSelection":         {NsPerOp: 250000000, AllocsPerOp: 37},
+		"Fig8BackgroundSubtraction": {NsPerOp: 500000000, AllocsPerOp: 12345},
 	}
-	for name, allocs := range want {
-		if got := results[name]; got != allocs {
-			t.Errorf("%s: got %d allocs/op, want %d", name, got, allocs)
+	for name, res := range want {
+		if got := results[name]; got != res {
+			t.Errorf("%s: got %+v, want %+v", name, got, res)
 		}
 	}
 }
 
 func TestParseBenchKeepsWorstRun(t *testing.T) {
 	repeated := "BenchmarkX-4 10 5 ns/op 0 B/op 2 allocs/op\n" +
-		"BenchmarkX-4 10 5 ns/op 0 B/op 7 allocs/op\n" +
-		"BenchmarkX-4 10 5 ns/op 0 B/op 3 allocs/op\n"
+		"BenchmarkX-4 10 9 ns/op 0 B/op 7 allocs/op\n" +
+		"BenchmarkX-4 10 6 ns/op 0 B/op 3 allocs/op\n"
 	results, err := parseBench(strings.NewReader(repeated))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := results["X"]; got != 7 {
-		t.Errorf("got %d allocs/op, want worst run 7", got)
+	if got := results["X"]; got.AllocsPerOp != 7 || got.NsPerOp != 9 {
+		t.Errorf("got %+v, want worst run {9 7}", got)
+	}
+}
+
+func TestParseBenchSkipsLinesWithoutAllocs(t *testing.T) {
+	// Without -benchmem there is no allocs/op column; such lines must
+	// not produce half-filled results that a budget could match against.
+	noMem := "BenchmarkX-4 10 5 ns/op\n"
+	results, err := parseBench(strings.NewReader(noMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("want no results without allocs/op, got %v", results)
 	}
 }
 
@@ -58,7 +74,7 @@ func TestCheckWithinBudgets(t *testing.T) {
 }
 
 func TestCheckOverBudget(t *testing.T) {
-	results := map[string]uint64{"Fig7NoiseReduction": 4}
+	results := map[string]result{"Fig7NoiseReduction": {AllocsPerOp: 4}}
 	v := check(results, budgets{"Fig7NoiseReduction": 0})
 	if len(v) != 1 || !strings.Contains(v[0], "exceeds budget") {
 		t.Errorf("want one exceeds-budget violation, got %v", v)
@@ -66,9 +82,36 @@ func TestCheckOverBudget(t *testing.T) {
 }
 
 func TestCheckMissingBenchmark(t *testing.T) {
-	v := check(map[string]uint64{}, budgets{"Fig10BinSelection": 37})
+	v := check(map[string]result{}, budgets{"Fig10BinSelection": 37})
 	if len(v) != 1 || !strings.Contains(v[0], "not found") {
 		t.Errorf("want one not-found violation, got %v", v)
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaseline(path, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back), len(results))
+	}
+	for name, res := range results {
+		if back[name] != res {
+			t.Errorf("%s: %+v round-tripped to %+v", name, res, back[name])
+		}
 	}
 }
 

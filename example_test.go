@@ -27,7 +27,7 @@ func Example() {
 	truth := blinkradar.TrimWarmup(capture.Truth, blinkradar.DefaultWarmup)
 	m := blinkradar.Match(truth, events, 0)
 	fmt.Printf("accuracy %.0f%% over %d blinks\n", m.Accuracy()*100, len(truth))
-	// Output: accuracy 93% over 14 blinks
+	// Output: accuracy 100% over 14 blinks
 }
 
 // ExampleDrowsinessModel shows per-driver calibration from labelled

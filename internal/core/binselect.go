@@ -27,13 +27,17 @@ type BinScore struct {
 // ScoreBin evaluates one bin's slow-time window. The paper first ranks
 // bins by 2-D variance, then validates with the arc fit that also
 // yields the viewing position; combining both here folds that
-// validation into a single score.
+// validation into a single score. One moment accumulation over the
+// window feeds the variance, the Pratt fit and the eccentricity; only
+// the trimmed residual and the angular extent still walk the samples.
 func ScoreBin(bin int, series []complex128) BinScore {
-	s := BinScore{Bin: bin, Variance: iq.Variance2D(series)}
+	var mom iq.SlidingMoments
+	mom.Accumulate(series)
+	s := BinScore{Bin: bin, Variance: mom.Variance2D()}
 	if s.Variance <= 0 {
 		return s
 	}
-	c, err := iq.FitCirclePratt(series)
+	c, err := mom.FitPratt()
 	if err != nil || c.Radius <= 0 {
 		s.ArcQuality = 0
 		return s
@@ -57,7 +61,7 @@ func ScoreBin(bin int, series []complex128) BinScore {
 	// Short arcs are strongly anisotropic point clouds; full rotations
 	// and noise balls are not. Eccentricity separates them even when
 	// variance alone cannot.
-	ecc := iq.Eccentricity(series)
+	ecc := mom.Eccentricity()
 	s.ArcQuality *= 0.1 + 0.9*ecc*ecc
 	s.Score = s.Variance * s.ArcQuality
 	return s
@@ -71,21 +75,37 @@ func ScoreBin(bin int, series []complex128) BinScore {
 // with distinct buffers.
 type BinSeries func(bin int, buf []complex128) []complex128
 
+// BinStats supplies the covariance entries of one bin's recent
+// slow-time window in O(1), typically from sliding sums maintained on
+// push (see binRing): varI and varQ are the per-axis variances about
+// the centroid, covIQ the cross term. Passing nil to the selection
+// entry points falls back to walking every bin's series, which is
+// O(bins·window) with a copy per bin. The covariance also tightens the
+// candidate pruning bound: arc quality never exceeds the eccentricity
+// factor, which is a pure function of these three entries.
+type BinStats func(bin int) (varI, varQ, covIQ float64)
+
 // SelectBin picks the eye's range bin from per-bin slow-time windows.
 // Bins below guard are excluded (antenna direct path). The topK
 // highest-variance candidates are arc-scored, and the best combined
-// score wins. It returns the winning score and the evaluated candidates
-// sorted by descending score. topK must be positive.
-func SelectBin(series BinSeries, numBins, guard, topK int) (BinScore, []BinScore, error) {
-	return SelectBinParallel(series, numBins, guard, topK, 1)
+// score wins. It returns the winning score and the topK candidates
+// sorted by descending score; candidates whose statistics prove they
+// cannot win (a bin's score never exceeds its variance times its
+// eccentricity factor) are skipped by the scoring bound and carry their
+// variance with a zero score. topK must be positive; stats may be nil.
+func SelectBin(series BinSeries, stats BinStats, numBins, guard, topK int) (BinScore, []BinScore, error) {
+	return SelectBinParallel(series, stats, numBins, guard, topK, 1)
 }
 
-// SelectBinParallel is SelectBin with the per-bin variance pass and the
-// per-candidate arc scoring fanned out across a bounded worker pool
-// (workers <= 0 selects GOMAXPROCS). Every bin's score is a pure
-// function of its series and ties are broken by bin index, so the
-// winner is identical to the serial path for any worker count.
-func SelectBinParallel(series BinSeries, numBins, guard, topK, workers int) (BinScore, []BinScore, error) {
+// SelectBinParallel is SelectBin with the nil-stats variance pass
+// fanned out across a bounded worker pool (workers <= 0 selects
+// GOMAXPROCS). With a non-nil stats source that pass is O(bins) reads
+// and runs serially — forking workers would cost more than the reads.
+// The candidate arc scoring itself is a sequential bound-ordered scan
+// with early exit (see below), so it prunes most candidates outright
+// instead of fanning them out; results are bit-identical for any
+// worker count.
+func SelectBinParallel(series BinSeries, stats BinStats, numBins, guard, topK, workers int) (BinScore, []BinScore, error) {
 	if numBins <= guard {
 		return BinScore{}, nil, fmt.Errorf("core: no bins beyond guard (%d bins, guard %d)", numBins, guard)
 	}
@@ -93,37 +113,73 @@ func SelectBinParallel(series BinSeries, numBins, guard, topK, workers int) (Bin
 		return BinScore{}, nil, fmt.Errorf("core: candidate count must be positive, got %d", topK)
 	}
 	variances := make([]BinScore, numBins-guard)
-	err := parallelChunks(len(variances), workers, func(lo, hi int) error {
+	if stats != nil {
+		for i := range variances {
+			varI, varQ, _ := stats(guard + i)
+			variances[i] = BinScore{Bin: guard + i, Variance: varI + varQ}
+		}
+	} else if err := parallelChunks(len(variances), workers, func(lo, hi int) error {
 		var buf []complex128
 		for i := lo; i < hi; i++ {
 			buf = series(guard+i, buf)
 			variances[i] = BinScore{Bin: guard + i, Variance: iq.Variance2D(buf)}
 		}
 		return nil
-	})
-	if err != nil {
+	}); err != nil {
 		return BinScore{}, nil, err
 	}
-	sort.Slice(variances, func(i, j int) bool {
+	if topK > len(variances) {
+		topK = len(variances)
+	}
+	// Only the topK highest-variance bins are ever arc-scored, so a
+	// partial selection beats sorting the whole ranking.
+	partitionTopVariance(variances, topK)
+	sort.Slice(variances[:topK], func(i, j int) bool {
 		if variances[i].Variance != variances[j].Variance {
 			return variances[i].Variance > variances[j].Variance
 		}
 		return variances[i].Bin < variances[j].Bin
 	})
-	if topK > len(variances) {
-		topK = len(variances)
-	}
-	candidates := make([]BinScore, topK)
-	err = parallelChunks(topK, workers, func(lo, hi int) error {
-		var buf []complex128
-		for i := lo; i < hi; i++ {
-			buf = series(variances[i].Bin, buf)
-			candidates[i] = ScoreBin(variances[i].Bin, buf)
+	// Branch-and-bound over the candidates. Every ArcQuality factor is
+	// <= 1, so Score <= Variance; with covariance stats the bound
+	// tightens to Variance·(0.1+0.9·ecc²), separating short-arc bins
+	// from motion clouds of larger variance but weaker elongation.
+	// Candidates are visited in descending bound order, so the moment
+	// one candidate's bound falls below the best realised score, every
+	// remaining candidate is proven a loser and is returned with its
+	// variance only, unscored. The visit order depends only on the
+	// deterministic candidate ranking, never on worker scheduling, so
+	// any worker count returns bit-identical results.
+	bounds := make([]float64, topK)
+	order := make([]int, topK)
+	for i := range bounds {
+		bounds[i] = variances[i].Variance
+		if stats != nil {
+			varI, varQ, covIQ := stats(variances[i].Bin)
+			ecc := iq.EccentricityFromCov(varI, varQ, covIQ)
+			bounds[i] *= 0.1 + 0.9*ecc*ecc
 		}
-		return nil
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if bounds[order[a]] != bounds[order[b]] {
+			return bounds[order[a]] > bounds[order[b]]
+		}
+		return variances[order[a]].Bin < variances[order[b]].Bin
 	})
-	if err != nil {
-		return BinScore{}, nil, err
+	candidates := make([]BinScore, topK)
+	bestScore := math.Inf(-1)
+	var buf []complex128
+	for _, i := range order {
+		if bounds[i] < bestScore {
+			candidates[i] = variances[i]
+			continue
+		}
+		buf = series(variances[i].Bin, buf)
+		candidates[i] = ScoreBin(variances[i].Bin, buf)
+		if candidates[i].Score > bestScore {
+			bestScore = candidates[i].Score
+		}
 	}
 	sort.Slice(candidates, func(i, j int) bool {
 		if candidates[i].Score != candidates[j].Score {
@@ -142,13 +198,36 @@ func SelectBinParallel(series BinSeries, numBins, guard, topK, workers int) (Bin
 
 // SelectBinMatrix is the offline convenience: selects the eye bin from
 // the trailing window of a preprocessed frame matrix, scoring
-// candidates across cfg.Parallelism workers.
+// candidates across cfg.Parallelism workers. The variance ranking comes
+// from per-bin sums accumulated in one frame-major sweep — sequential
+// in memory, no per-bin series copies — so only the topK candidates
+// ever have their windows gathered.
 func SelectBinMatrix(cfg Config, m *rf.FrameMatrix) (BinScore, error) {
 	window := cfg.SelectWindowFrames
 	if window > m.NumFrames() {
 		window = m.NumFrames()
 	}
 	start := m.NumFrames() - window
+	bins := m.NumBins()
+	sumI := make([]float64, bins)
+	sumQ := make([]float64, bins)
+	sumII := make([]float64, bins)
+	sumQQ := make([]float64, bins)
+	sumIQ := make([]float64, bins)
+	for k := 0; k < window; k++ {
+		row := m.Data[start+k]
+		for b, z := range row {
+			x, y := real(z), imag(z)
+			sumI[b] += x
+			sumQ[b] += y
+			sumII[b] += x * x
+			sumQQ[b] += y * y
+			sumIQ[b] += x * y
+		}
+	}
+	stats := func(bin int) (float64, float64, float64) {
+		return covFromSums(sumI[bin], sumQ[bin], sumII[bin], sumQQ[bin], sumIQ[bin], window)
+	}
 	best, _, err := SelectBinParallel(func(bin int, buf []complex128) []complex128 {
 		if cap(buf) < window {
 			buf = make([]complex128, window)
@@ -158,27 +237,55 @@ func SelectBinMatrix(cfg Config, m *rf.FrameMatrix) (BinScore, error) {
 			buf[k] = m.Data[start+k][bin]
 		}
 		return buf
-	}, m.NumBins(), cfg.GuardBins, cfg.CandidateTopK, cfg.Parallelism)
+	}, stats, m.NumBins(), cfg.GuardBins, cfg.CandidateTopK, cfg.Parallelism)
 	return best, err
 }
 
+// covFromSums recovers the centroid-centred covariance entries from
+// sliding sums of I, Q, I², Q² and I·Q over n samples, clamping the
+// tiny negative axis variances rounding can produce on near-constant
+// bins.
+//
+//blinkradar:hotpath
+func covFromSums(sumI, sumQ, sumII, sumQQ, sumIQ float64, n int) (varI, varQ, covIQ float64) {
+	if n < 2 {
+		return 0, 0, 0
+	}
+	fn := float64(n)
+	mi := sumI / fn
+	mq := sumQ / fn
+	varI = sumII/fn - mi*mi
+	varQ = sumQQ/fn - mq*mq
+	covIQ = sumIQ/fn - mi*mq
+	if varI < 0 {
+		varI = 0
+	}
+	if varQ < 0 {
+		varQ = 0
+	}
+	return varI, varQ, covIQ
+}
+
 // trimmedRMSE returns the RMS radial residual of the best 80% of
-// samples.
+// samples. The trim needs only the k smallest squared residuals, in any
+// order, so a quickselect partition replaces the full sort.
 func trimmedRMSE(series []complex128, c iq.Circle) float64 {
 	if len(series) == 0 {
 		return 0
 	}
-	res := make([]float64, 0, len(series))
-	for _, z := range series {
+	res := make([]float64, len(series))
+	for i, z := range series {
 		d := z - c.Center
-		r := math.Hypot(real(d), imag(d)) - c.Radius
-		res = append(res, r*r)
+		// Plain sqrt, not Hypot: samples are sanitized upstream, so the
+		// squared magnitude cannot overflow and the guard is pure cost.
+		r := math.Sqrt(real(d)*real(d)+imag(d)*imag(d)) - c.Radius
+		res[i] = r * r
 	}
-	sort.Float64s(res)
 	keep := len(res) * 4 / 5
 	if keep < 1 {
 		keep = 1
 	}
+	partitionSmallest(res, keep)
 	var acc float64
 	for _, v := range res[:keep] {
 		acc += v
@@ -186,33 +293,214 @@ func trimmedRMSE(series []complex128, c iq.Circle) float64 {
 	return math.Sqrt(acc / float64(keep))
 }
 
+// partitionTopVariance reorders scores so its first k elements are the
+// k best by descending variance with ascending bin index breaking ties
+// (the exact order sort.Slice would produce), in unspecified relative
+// order. Iterative Hoare quickselect, median-of-three pivots.
+func partitionTopVariance(scores []BinScore, k int) {
+	before := func(a, b BinScore) bool {
+		if a.Variance != b.Variance {
+			return a.Variance > b.Variance
+		}
+		return a.Bin < b.Bin
+	}
+	lo, hi := 0, len(scores)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if before(scores[mid], scores[lo]) {
+			scores[mid], scores[lo] = scores[lo], scores[mid]
+		}
+		if before(scores[hi], scores[lo]) {
+			scores[hi], scores[lo] = scores[lo], scores[hi]
+		}
+		if before(scores[hi], scores[mid]) {
+			scores[hi], scores[mid] = scores[mid], scores[hi]
+		}
+		pivot := scores[mid]
+		i, j := lo, hi
+		for i <= j {
+			for before(scores[i], pivot) {
+				i++
+			}
+			for before(pivot, scores[j]) {
+				j--
+			}
+			if i <= j {
+				scores[i], scores[j] = scores[j], scores[i]
+				i++
+				j--
+			}
+		}
+		if k-1 <= j {
+			hi = j
+		} else if k-1 >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// partitionSmallest reorders res so that its first k elements are the k
+// smallest values, in unspecified order: an iterative Hoare quickselect
+// with median-of-three pivoting. 1 <= k <= len(res).
+func partitionSmallest(res []float64, k int) {
+	lo, hi := 0, len(res)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if res[mid] < res[lo] {
+			res[mid], res[lo] = res[lo], res[mid]
+		}
+		if res[hi] < res[lo] {
+			res[hi], res[lo] = res[lo], res[hi]
+		}
+		if res[hi] < res[mid] {
+			res[hi], res[mid] = res[mid], res[hi]
+		}
+		pivot := res[mid]
+		i, j := lo, hi
+		for i <= j {
+			for res[i] < pivot {
+				i++
+			}
+			for res[j] > pivot {
+				j--
+			}
+			if i <= j {
+				res[i], res[j] = res[j], res[i]
+				i++
+				j--
+			}
+		}
+		// Recurse (iteratively) only into the side holding index k-1.
+		if k-1 <= j {
+			hi = j
+		} else if k-1 >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
 // binRing stores the most recent `window` frames of every bin for
-// selection scoring, in a single flat allocation.
+// selection scoring, in a single flat allocation. Alongside the raw
+// samples it maintains per-bin sliding sums of I, Q, I², Q² and I·Q so
+// the selection variance pass is O(bins) reads instead of
+// O(bins·window) with a series copy per bin, and the candidate pruning
+// bound gets the eccentricity factor for free.
+//
+// Drift bound: each push past the fill point exactly recomputes one
+// bin's sums from the stored window, round-robin, so every bin is
+// renormalized once per `bins` evictions and rounding residue never
+// accumulates past that horizon. The extra O(window) per frame is noise
+// next to the O(bins) eviction update itself.
 type binRing struct {
 	buf    []complex128 // window * bins, frame-major
+	sumI   []float64    // per-bin sliding Σ real(z)
+	sumQ   []float64    // per-bin sliding Σ imag(z)
+	sumII  []float64    // per-bin sliding Σ real(z)²
+	sumQQ  []float64    // per-bin sliding Σ imag(z)²
+	sumIQ  []float64    // per-bin sliding Σ real(z)·imag(z)
 	bins   int
 	window int
 	pos    int
 	count  int
+	renorm int // next bin to exactly recompute, round-robin
 }
 
 func newBinRing(bins, window int) *binRing {
 	return &binRing{
 		buf:    make([]complex128, bins*window),
+		sumI:   make([]float64, bins),
+		sumQ:   make([]float64, bins),
+		sumII:  make([]float64, bins),
+		sumQQ:  make([]float64, bins),
+		sumIQ:  make([]float64, bins),
 		bins:   bins,
 		window: window,
 	}
 }
 
-// push stores one frame (len == bins).
+// push stores one frame (len == bins), folding it into the per-bin
+// sums and evicting the overwritten frame from them once full.
 //
 //blinkradar:hotpath
 func (r *binRing) push(frame []complex128) {
-	copy(r.buf[r.pos*r.bins:(r.pos+1)*r.bins], frame)
-	r.pos = (r.pos + 1) % r.window
-	if r.count < r.window {
+	row := r.buf[r.pos*r.bins : (r.pos+1)*r.bins]
+	if r.count == r.window {
+		for b, old := range row {
+			z := frame[b]
+			x, y := real(z), imag(z)
+			ox, oy := real(old), imag(old)
+			row[b] = z
+			r.sumI[b] += x - ox
+			r.sumQ[b] += y - oy
+			r.sumII[b] += x*x - ox*ox
+			r.sumQQ[b] += y*y - oy*oy
+			r.sumIQ[b] += x*y - ox*oy
+		}
+		r.renormalizeBin(r.renorm)
+		r.renorm++
+		if r.renorm == r.bins {
+			r.renorm = 0
+		}
+	} else {
+		for b, z := range frame {
+			x, y := real(z), imag(z)
+			row[b] = z
+			r.sumI[b] += x
+			r.sumQ[b] += y
+			r.sumII[b] += x * x
+			r.sumQQ[b] += y * y
+			r.sumIQ[b] += x * y
+		}
 		r.count++
 	}
+	r.pos++
+	if r.pos == r.window {
+		r.pos = 0
+	}
+}
+
+// renormalizeBin recomputes one bin's sums exactly from the stored
+// samples, discarding accumulated rounding residue.
+//
+//blinkradar:hotpath
+func (r *binRing) renormalizeBin(bin int) {
+	var si, sq, sii, sqq, siq float64
+	// Sums are order-independent, so walk the live rows flat.
+	for f := 0; f < r.count; f++ {
+		z := r.buf[f*r.bins+bin]
+		x, y := real(z), imag(z)
+		si += x
+		sq += y
+		sii += x * x
+		sqq += y * y
+		siq += x * y
+	}
+	r.sumI[bin] = si
+	r.sumQ[bin] = sq
+	r.sumII[bin] = sii
+	r.sumQQ[bin] = sqq
+	r.sumIQ[bin] = siq
+}
+
+// stats returns one bin's centred covariance entries from the sliding
+// sums, in O(1). It satisfies the BinStats contract.
+//
+//blinkradar:hotpath
+func (r *binRing) stats(bin int) (varI, varQ, covIQ float64) {
+	return covFromSums(r.sumI[bin], r.sumQ[bin], r.sumII[bin], r.sumQQ[bin], r.sumIQ[bin], r.count)
+}
+
+// variance returns the total 2-D variance of one bin's stored window,
+// in O(1).
+//
+//blinkradar:hotpath
+func (r *binRing) variance(bin int) float64 {
+	varI, varQ, _ := r.stats(bin)
+	return varI + varQ
 }
 
 // series returns the stored samples of one bin, oldest first, in a
@@ -261,4 +549,12 @@ func (r *binRing) latest(bin int) complex128 {
 func (r *binRing) reset() {
 	r.pos = 0
 	r.count = 0
+	r.renorm = 0
+	for b := range r.sumI {
+		r.sumI[b] = 0
+		r.sumQ[b] = 0
+		r.sumII[b] = 0
+		r.sumQQ[b] = 0
+		r.sumIQ[b] = 0
+	}
 }

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"blinkradar/internal/iq"
 )
 
 // seriesSets builds synthetic per-bin slow-time clouds:
@@ -65,7 +67,7 @@ func TestScoreBinPrefersArc(t *testing.T) {
 
 func TestSelectBinFindsArc(t *testing.T) {
 	series := seriesSets(300, 2)
-	best, candidates, err := SelectBin(series, 4, 0, 4)
+	best, candidates, err := SelectBin(series, nil, 4, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +82,11 @@ func TestSelectBinFindsArc(t *testing.T) {
 func TestSelectBinGuard(t *testing.T) {
 	series := seriesSets(300, 3)
 	// Guarding out everything must fail loudly.
-	if _, _, err := SelectBin(series, 4, 4, 2); err == nil {
+	if _, _, err := SelectBin(series, nil, 4, 4, 2); err == nil {
 		t.Fatal("guard >= bins must be rejected")
 	}
 	// Guarding out the arc bin forces another winner.
-	best, _, err := SelectBin(series, 4, 2, 2)
+	best, _, err := SelectBin(series, nil, 4, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestSelectBinRejectsNonPositiveTopK(t *testing.T) {
 	// Regression: topK <= 0 used to index an empty candidate slice and
 	// panic; it must be a loud error instead.
 	for _, topK := range []int{0, -1, -100} {
-		if _, _, err := SelectBin(series, 4, 0, topK); err == nil {
+		if _, _, err := SelectBin(series, nil, 4, 0, topK); err == nil {
 			t.Fatalf("topK=%d must be rejected", topK)
 		}
 	}
@@ -108,7 +110,7 @@ func TestSelectBinSingleBinBeyondGuard(t *testing.T) {
 	series := seriesSets(300, 5)
 	// numBins == guard+1 leaves exactly one candidate; selection must
 	// still work for any topK.
-	best, candidates, err := SelectBin(series, 4, 3, 24)
+	best, candidates, err := SelectBin(series, nil, 4, 3, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestSelectBinAllZeroVariance(t *testing.T) {
 		}
 		return buf
 	}
-	best, candidates, err := SelectBin(flat, 6, 2, 3)
+	best, candidates, err := SelectBin(flat, nil, 6, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,12 +173,12 @@ func TestSelectBinParallelMatchesSerial(t *testing.T) {
 		copy(buf, data[bin])
 		return buf
 	}
-	serialBest, serialCands, err := SelectBin(series, bins, 4, 16)
+	serialBest, serialCands, err := SelectBin(series, nil, bins, 4, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 2, 3, 7, 16, 100} {
-		best, cands, err := SelectBinParallel(series, bins, 4, 16, workers)
+		best, cands, err := SelectBinParallel(series, nil, bins, 4, 16, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -267,5 +269,102 @@ func TestBinRingReset(t *testing.T) {
 	}
 	if r.latest(0) != 0 {
 		t.Fatal("latest of empty ring must be zero")
+	}
+}
+
+func TestBinRingVarianceMatchesBatch(t *testing.T) {
+	// The O(1) sliding-sum variance must track the batch Variance2D of
+	// the same stored window through fill, wrap-around and the
+	// round-robin renormalization that starts once the ring is full.
+	const bins, window = 5, 32
+	rng := rand.New(rand.NewSource(31))
+	r := newBinRing(bins, window)
+	frame := make([]complex128, bins)
+	for push := 0; push < 4*window; push++ {
+		for b := range frame {
+			// Per-bin offsets exercise different cancellation regimes.
+			off := complex(float64(b)*3, -float64(b))
+			frame[b] = off + complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		r.push(frame)
+		for b := 0; b < bins; b++ {
+			series := r.series(b)
+			want := iq.Variance2D(series)
+			got := r.variance(b)
+			var scale float64
+			for _, z := range series {
+				scale += real(z)*real(z) + imag(z)*imag(z)
+			}
+			scale /= float64(len(series))
+			if math.Abs(got-want) > 1e-9*(1+scale) {
+				t.Fatalf("push %d bin %d: sliding variance %g, batch %g", push, b, got, want)
+			}
+		}
+	}
+}
+
+func TestBinRingVarianceAfterReset(t *testing.T) {
+	r := newBinRing(2, 4)
+	for i := 0; i < 9; i++ {
+		r.push([]complex128{complex(float64(i), 1), complex(-1, float64(i))})
+	}
+	r.reset()
+	for b := 0; b < 2; b++ {
+		if v := r.variance(b); v != 0 {
+			t.Fatalf("bin %d variance %g after reset", b, v)
+		}
+	}
+	// Sums must restart cleanly, not inherit pre-reset residue.
+	r.push([]complex128{2 + 2i, 3 - 1i})
+	r.push([]complex128{4 + 4i, 5 - 3i})
+	for b := 0; b < 2; b++ {
+		want := iq.Variance2D(r.series(b))
+		if got := r.variance(b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("bin %d variance %g after reset+refill, want %g", b, got, want)
+		}
+	}
+}
+
+func TestSelectBinStatsSourceMatchesFallback(t *testing.T) {
+	// Supplying an O(1) stats source must not change the winner
+	// relative to the nil walking fallback: the eccentricity-tightened
+	// bound may prune more losing candidates, but a pruned candidate by
+	// construction cannot have beaten the winner, and any candidate the
+	// stats path did score must carry the identical score.
+	series := seriesSets(300, 6)
+	statsFn := func(bin int) (float64, float64, float64) {
+		return iq.Covariance(at(series, bin))
+	}
+	nilBest, nilCands, err := SelectBin(series, nil, 4, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, cands, err := SelectBin(series, statsFn, 4, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != nilBest {
+		t.Fatalf("stats source changed the winner: %+v vs %+v", best, nilBest)
+	}
+	if len(cands) != len(nilCands) {
+		t.Fatalf("%d candidates with stats, %d without", len(cands), len(nilCands))
+	}
+	for _, c := range cands {
+		if c.Score > best.Score {
+			t.Fatalf("candidate %+v outscores the returned winner %+v", c, best)
+		}
+		if c.ArcQuality == 0 {
+			continue // pruned or genuinely zero-quality: variance-only record
+		}
+		found := false
+		for _, n := range nilCands {
+			if n.Bin == c.Bin {
+				found = n == c
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("scored candidate %+v absent or different in fallback list %+v", c, nilCands)
+		}
 	}
 }

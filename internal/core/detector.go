@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blinkradar/internal/dsp"
 	"blinkradar/internal/obs"
 	"blinkradar/internal/rf"
 )
@@ -46,9 +47,7 @@ type Detector struct {
 
 	// Motion-restart state.
 	restartAt int
-	medianBuf []float64
-	medianPos int
-	medianCnt int
+	med       *dsp.StreamingMedian
 	sustain   int
 
 	// Optional diagnostics trace.
@@ -122,18 +121,22 @@ func NewDetector(cfg Config, numBins int, frameRate float64, opts ...Option) (*D
 	if window < cfg.ColdStartFrames {
 		window = cfg.ColdStartFrames
 	}
+	med, err := dsp.NewStreamingMedian(int(frameRate*2) + 1)
+	if err != nil {
+		return nil, err
+	}
 	return &Detector{
-		cfg:       cfg,
-		fps:       frameRate,
-		bins:      numBins,
-		pre:       pre,
-		ring:      newBinRing(numBins, window),
-		tracker:   tracker,
-		levd:      levd,
-		bin:       -1,
-		medianBuf: make([]float64, int(frameRate*2)+1),
-		scratch:   make([]complex128, numBins),
-		lastGood:  make([]complex128, numBins),
+		cfg:      cfg,
+		fps:      frameRate,
+		bins:     numBins,
+		pre:      pre,
+		ring:     newBinRing(numBins, window),
+		tracker:  tracker,
+		levd:     levd,
+		bin:      -1,
+		med:      med,
+		scratch:  make([]complex128, numBins),
+		lastGood: make([]complex128, numBins),
 	}, nil
 }
 
@@ -345,7 +348,7 @@ func (d *Detector) runSelection() (BinScore, error) {
 	if d.mStageSelect != nil {
 		start = time.Now()
 	}
-	best, _, err := SelectBinParallel(d.ring.seriesInto, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK, d.cfg.Parallelism)
+	best, _, err := SelectBinParallel(d.ring.seriesInto, d.ring.stats, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK, d.cfg.Parallelism)
 	if d.mStageSelect != nil {
 		d.mStageSelect.Observe(time.Since(start).Seconds())
 	}
@@ -416,14 +419,18 @@ func (d *Detector) maybeReselect() {
 // checkMotionRestart restarts the whole pipeline when the distance
 // waveform departs from its running median for a sustained period —
 // the signature of a large posture change, unlike a transient blink.
+// The median window updates incrementally (O(log n) search per frame)
+// instead of re-sorting a copy of the buffer every frame; the check
+// itself still waits for a full window, signalled by Push's eviction
+// report.
+//
+//blinkradar:hotpath
 func (d *Detector) checkMotionRestart(dist float64) {
-	d.medianBuf[d.medianPos] = dist
-	d.medianPos = (d.medianPos + 1) % len(d.medianBuf)
-	if d.medianCnt < len(d.medianBuf) {
-		d.medianCnt++
+	if !d.med.Push(dist) {
+		// Still filling the two-second window after startup.
 		return
 	}
-	med := quickMedian(d.medianBuf[:d.medianCnt])
+	med := d.med.Median()
 	sigma := d.levd.Sigma()
 	if sigma <= 0 {
 		return
@@ -454,30 +461,6 @@ func tail(s []complex128, n int) []complex128 {
 		return s
 	}
 	return s[len(s)-n:]
-}
-
-// quickMedian returns the median of values without modifying them. The
-// buffers involved are small (tens of samples), so a copy plus
-// insertion-style selection is cheap.
-func quickMedian(values []float64) float64 {
-	n := len(values)
-	if n == 0 {
-		return 0
-	}
-	cp := make([]float64, n)
-	copy(cp, values)
-	// Partial selection sort up to the median index.
-	mid := n / 2
-	for i := 0; i <= mid; i++ {
-		minIdx := i
-		for j := i + 1; j < n; j++ {
-			if cp[j] < cp[minIdx] {
-				minIdx = j
-			}
-		}
-		cp[i], cp[minIdx] = cp[minIdx], cp[i]
-	}
-	return cp[mid]
 }
 
 // Flush returns any event still pending at end of stream (a blink whose

@@ -194,26 +194,40 @@ func TestDetectOfflineMatchesStreaming(t *testing.T) {
 	}
 }
 
-func TestQuickMedian(t *testing.T) {
-	cases := []struct {
-		in   []float64
-		want float64
-	}{
-		{nil, 0},
-		{[]float64{5}, 5},
-		{[]float64{3, 1, 2}, 2},
-		{[]float64{4, 1, 3, 2}, 3}, // upper median for even n
+func TestMotionRestartPathAllocFree(t *testing.T) {
+	// The motion-restart gate runs the running median on every frame
+	// once its two-second window fills; the old batch median copied the
+	// buffer per frame, so this path specifically must stay at 0
+	// allocs/frame, not just the pre-warmup frames other tests hit.
+	m, _ := syntheticCapture(t, 600, nil, 7)
+	cfg := DefaultConfig()
+	// Keep periodic reselection (which walks candidate windows) out of
+	// the measured frames so a single allocating frame can't hide in
+	// the AllocsPerRun average.
+	cfg.ReselectIntervalFrames = 1 << 30
+	det, err := NewDetector(cfg, m.NumBins(), m.FrameRate)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, tc := range cases {
-		if got := quickMedian(tc.in); got != tc.want {
-			t.Errorf("quickMedian(%v) = %g, want %g", tc.in, got, tc.want)
+	warm := cfg.ColdStartFrames + int(m.FrameRate*2) + 2
+	for k := 0; k < warm; k++ {
+		if _, _, err := det.Feed(m.Data[k]); err != nil {
+			t.Fatal(err)
 		}
 	}
-	// Input untouched.
-	in := []float64{9, 1, 5}
-	quickMedian(in)
-	if in[0] != 9 || in[1] != 1 {
-		t.Fatal("quickMedian mutated its input")
+	if !det.med.Full() {
+		t.Fatalf("median window not full after %d frames: %d/%d",
+			warm, det.med.Count(), det.med.Cap())
+	}
+	next := warm
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := det.Feed(m.Data[next]); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("motion-median frames allocate %g times/frame, want 0", allocs)
 	}
 }
 

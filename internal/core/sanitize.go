@@ -163,7 +163,6 @@ func (d *Detector) reacquire() {
 	d.matured = false
 	d.challenger = -1
 	d.sustain = 0
-	d.medianPos = 0
-	d.medianCnt = 0
+	d.med.Reset()
 	d.setHealth(HealthReacquiring)
 }

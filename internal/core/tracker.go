@@ -20,6 +20,8 @@ import (
 // waveform free of refit steps that would masquerade as blinks.
 type Tracker struct {
 	window    []complex128
+	scratch   []complex128 // refit workspace, window-sized, tracker-owned
+	mom       iq.SlidingMoments
 	pos       int
 	count     int
 	minFit    int
@@ -54,21 +56,44 @@ func NewTracker(windowFrames, refitInterval, minFit int, blend float64) (*Tracke
 	}
 	return &Tracker{
 		window:    make([]complex128, windowFrames),
+		scratch:   make([]complex128, windowFrames),
+		mom:       iq.NewSlidingMoments(windowFrames),
 		minFit:    minFit,
 		refitEach: refitInterval,
 		blend:     blend,
 	}, nil
 }
 
+// store pushes one sample into the window ring and the sliding moment
+// sums, evicting the overwritten sample once full and renormalizing the
+// sums on the accumulator's schedule (every window-length of evictions,
+// so the exact pass amortises to O(1) per frame).
+//
+//blinkradar:hotpath
+func (t *Tracker) store(z complex128) {
+	if t.count == len(t.window) {
+		t.mom.Evict(t.window[t.pos])
+	} else {
+		t.count++
+	}
+	t.window[t.pos] = z
+	t.mom.Push(z)
+	t.pos++
+	if t.pos == len(t.window) {
+		t.pos = 0
+	}
+	if t.mom.NeedsRenorm() {
+		t.mom.Renormalize(t.samplesInto())
+	}
+}
+
 // Push adds one I/Q sample. Once enough samples have accumulated to
 // fit, it returns the sample's distance from the viewing position and
 // true; before the first fit it returns (0, false).
+//
+//blinkradar:hotpath
 func (t *Tracker) Push(z complex128) (float64, bool) {
-	t.window[t.pos] = z
-	t.pos = (t.pos + 1) % len(t.window)
-	if t.count < len(t.window) {
-		t.count++
-	}
+	t.store(z)
 	t.sinceFit++
 	if !t.haveFit {
 		if t.count >= t.minFit {
@@ -90,32 +115,19 @@ func (t *Tracker) Push(z complex128) (float64, bool) {
 }
 
 // refit re-estimates the viewing position from the current window and
-// blends it into the running estimate. The fit is trimmed: samples far
-// off the first-pass circle (mostly blink transients, ~15% of frames)
-// are discarded and the circle refitted, so blinks do not drag the
+// blends it into the running estimate. The first-pass circle is solved
+// in O(1) from the sliding moment sums — no pass over the samples — so
+// the only O(window) work left is the trim: samples far off the
+// first-pass circle (mostly blink transients, ~15% of frames) are
+// discarded and the circle refitted exactly, so blinks do not drag the
 // centre. A degenerate fit keeps the previous centre (the paper notes
 // accuracy is poor with too few samples, so a stale-but-valid centre
 // beats a bad one).
 func (t *Tracker) refit() {
-	samples := t.samples()
-	c, err := iq.FitCirclePratt(samples)
+	c, err := t.mom.FitPratt()
 	t.sinceFit = 0
 	if err != nil {
 		return
-	}
-	if c.RMSE > 0 {
-		kept := samples[:0]
-		for _, z := range samples {
-			d := z - c.Center
-			if r := hypot(real(d), imag(d)); r > c.Radius-3*c.RMSE && r < c.Radius+3*c.RMSE {
-				kept = append(kept, z)
-			}
-		}
-		if len(kept) >= len(samples)/2 {
-			if c2, err2 := iq.FitCirclePratt(kept); err2 == nil {
-				c = c2
-			}
-		}
 	}
 	// Sanity gates: a short, noisy arc can yield a degenerate circle
 	// whose centre sits inside the sample cloud (radius comparable to
@@ -126,10 +138,12 @@ func (t *Tracker) refit() {
 	// Gates only apply once the window is full: warm-up fits on short
 	// arcs legitimately fluctuate, and burning the rejection budget on
 	// them would let genuinely bad fits straight through later.
+	// The gates run on the first-pass fit, before the trim, so a
+	// rejected refit costs O(1) and never touches the sample window.
 	if t.haveFit && t.count == len(t.window) {
 		// Degenerate: the circle explains little of the cloud's
 		// structure (radial residuals comparable to the raw spread).
-		cloudStd := sqrtFast(iq.Variance2D(samples))
+		cloudStd := sqrtFast(t.mom.Variance2D())
 		degenerate := c.RMSE > 0.5*cloudStd
 		// Jump: the radius leapt away from the running estimate, the
 		// signature of a window polluted by a large transient.
@@ -140,6 +154,25 @@ func (t *Tracker) refit() {
 		}
 	}
 	t.rejects = 0
+	if c.RMSE > 0 {
+		samples := t.samplesInto()
+		// Compact the in-band samples to the front of the scratch in
+		// place instead of appending, keeping the accepted path
+		// allocation-free as well.
+		kept := 0
+		for _, z := range samples {
+			d := z - c.Center
+			if r := hypot(real(d), imag(d)); r > c.Radius-3*c.RMSE && r < c.Radius+3*c.RMSE {
+				samples[kept] = z
+				kept++
+			}
+		}
+		if kept >= len(samples)/2 {
+			if c2, err2 := iq.FitCirclePratt(samples[:kept]); err2 == nil {
+				c = c2
+			}
+		}
+	}
 	if !t.haveFit {
 		t.center = c.Center
 		t.radius = c.Radius
@@ -158,16 +191,21 @@ func (t *Tracker) refit() {
 	t.fitCount++
 }
 
-// samples returns the window contents, oldest first.
-func (t *Tracker) samples() []complex128 {
-	out := make([]complex128, 0, t.count)
+// samplesInto fills the tracker-owned scratch with the window contents,
+// oldest first, and returns the filled prefix. The scratch is sized at
+// construction, so this never allocates; callers may reorder the
+// returned slice freely (the trim pass compacts it in place).
+//
+//blinkradar:hotpath
+func (t *Tracker) samplesInto() []complex128 {
+	out := t.scratch[:t.count]
 	start := t.pos - t.count
 	for i := 0; i < t.count; i++ {
 		idx := start + i
 		if idx < 0 {
 			idx += len(t.window)
 		}
-		out = append(out, t.window[idx%len(t.window)])
+		out[i] = t.window[idx%len(t.window)]
 	}
 	return out
 }
@@ -176,11 +214,7 @@ func (t *Tracker) samples() []complex128 {
 // ring) so tracking can begin without re-accumulating a full window.
 func (t *Tracker) Seed(history []complex128) {
 	for _, z := range history {
-		t.window[t.pos] = z
-		t.pos = (t.pos + 1) % len(t.window)
-		if t.count < len(t.window) {
-			t.count++
-		}
+		t.store(z)
 	}
 	if t.count >= t.minFit {
 		t.refit()
@@ -219,6 +253,7 @@ func (t *Tracker) Reset() {
 	t.center = 0
 	t.radius = 0
 	t.haveFit = false
+	t.mom.Reset()
 }
 
 func hypot(a, b float64) float64 {

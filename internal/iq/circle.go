@@ -67,10 +67,11 @@ func computeMoments(z []complex128) (moments, error) {
 	return m, nil
 }
 
-// finish converts a characteristic root x into a Circle, translating the
-// centre back from centred coordinates. radiusSq adds the root-dependent
-// term that differs between Pratt (+2x) and Taubin (+0).
-func (m moments) finish(z []complex128, x, radiusExtra float64) (Circle, error) {
+// circle converts a characteristic root x into a Circle, translating
+// the centre back from centred coordinates. radiusExtra adds the
+// root-dependent term that differs between Pratt (+2x) and Taubin (+0).
+// RMSE is left zero for the caller to fill in.
+func (m moments) circle(x, radiusExtra float64) (Circle, error) {
 	det := x*x - x*m.mz + m.covXY
 	if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
 		return Circle{}, ErrDegenerateFit
@@ -81,12 +82,45 @@ func (m moments) finish(z []complex128, x, radiusExtra float64) (Circle, error) 
 	if r2 <= 0 || math.IsNaN(r2) {
 		return Circle{}, ErrDegenerateFit
 	}
-	c := Circle{
+	return Circle{
 		Center: complex(ci+m.meanI, cq+m.meanQ),
 		Radius: math.Sqrt(r2),
+	}, nil
+}
+
+// finish converts a characteristic root x into a Circle and stamps the
+// exact sample-based RMSE.
+func (m moments) finish(z []complex128, x, radiusExtra float64) (Circle, error) {
+	c, err := m.circle(x, radiusExtra)
+	if err != nil {
+		return Circle{}, err
 	}
 	c.RMSE = radialRMSE(z, c)
 	return c, nil
+}
+
+// rmseEstimate approximates the radial RMSE of c over the point cloud
+// summarised by m, without touching the samples. It is exact for the
+// algebraic residual E[(|p-c|^2 - R^2)^2] and divides by 2R, which
+// matches the geometric RMSE to first order when residuals are small
+// against the radius — the regime every accepted arc fit lives in.
+// Degenerate clouds (residuals comparable to R) overestimate slightly,
+// which only makes the tracker's degenerate-fit gate more conservative.
+func (m moments) rmseEstimate(c Circle) float64 {
+	cx := real(c.Center) - m.meanI
+	cy := imag(c.Center) - m.meanQ
+	q := cx*cx + cy*cy
+	// E[|p-c|^2] and E[|p-c|^4] in centred coordinates, from the same
+	// moments the fit consumed.
+	e2 := m.mz + q
+	e4 := m.mzz + 4*cx*cx*m.mxx + 4*cy*cy*m.myy + q*q -
+		4*cx*m.mxz - 4*cy*m.myz + 2*q*m.mz + 8*cx*cy*m.mxy
+	r2 := c.Radius * c.Radius
+	msr := e4 - 2*r2*e2 + r2*r2
+	if msr <= 0 || c.Radius <= 0 {
+		return 0
+	}
+	return math.Sqrt(msr) / (2 * c.Radius)
 }
 
 func radialRMSE(z []complex128, c Circle) float64 {
@@ -114,8 +148,14 @@ func FitCirclePratt(z []complex128) (Circle, error) {
 	if err != nil {
 		return Circle{}, err
 	}
-	// Characteristic polynomial P(x) = A0 + A1 x + A2 x^2 + 4 x^4,
-	// solved by a guarded Newton iteration from x = 0 (Chernov).
+	x := m.prattRoot()
+	return m.finish(z, x, 2*x)
+}
+
+// prattRoot solves Pratt's characteristic polynomial
+// P(x) = A0 + A1 x + A2 x^2 + 4 x^4 by a guarded Newton iteration from
+// x = 0 (Chernov).
+func (m moments) prattRoot() float64 {
 	a2 := -3*m.mz*m.mz - m.mzz
 	a1 := m.varZ*m.mz + 4*m.covXY*m.mz - m.mxz*m.mxz - m.myz*m.myz
 	a0 := m.mxz*(m.mxz*m.myy-m.myz*m.mxy) + m.myz*(m.myz*m.mxx-m.mxz*m.mxy) - m.varZ*m.covXY
@@ -138,7 +178,7 @@ func FitCirclePratt(z []complex128) (Circle, error) {
 		}
 		x, y = xNew, yNew
 	}
-	return m.finish(z, x, 2*x)
+	return x
 }
 
 // FitCircleTaubin fits a circle using Taubin's method, a slightly
@@ -149,6 +189,12 @@ func FitCircleTaubin(z []complex128) (Circle, error) {
 	if err != nil {
 		return Circle{}, err
 	}
+	return m.finish(z, m.taubinRoot(), 0)
+}
+
+// taubinRoot solves Taubin's characteristic polynomial by the same
+// guarded Newton iteration as prattRoot.
+func (m moments) taubinRoot() float64 {
 	a3 := 4 * m.mz
 	a2 := -3*m.mz*m.mz - m.mzz
 	a1 := m.varZ*m.mz + 4*m.covXY*m.mz - m.mxz*m.mxz - m.myz*m.myz
@@ -173,7 +219,7 @@ func FitCircleTaubin(z []complex128) (Circle, error) {
 		}
 		x, y = xNew, yNew
 	}
-	return m.finish(z, x, 0)
+	return x
 }
 
 // FitCircleKasa fits a circle with the Kåsa linear least-squares method.

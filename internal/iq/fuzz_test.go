@@ -91,3 +91,39 @@ func FuzzAngularExtent(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSlidingMoments drives a SlidingMoments accumulator through a
+// fuzz-chosen push/evict/renormalize schedule and cross-checks the
+// recovered centred moments against the two-pass batch reference after
+// every step. Non-finite and absurdly large payload values are dropped
+// by decodeSamples, mirroring the upstream frame sanitizer.
+func FuzzSlidingMoments(f *testing.F) {
+	seed := make([]byte, 0, 16*16)
+	for i := 0; i < 16; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(math.Cos(float64(i))))
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(math.Sin(float64(i))))
+	}
+	f.Add(seed, uint8(4), uint8(8))
+	f.Add(seed, uint8(1), uint8(0))
+	f.Add(seed, uint8(200), uint8(3))
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, capSeed, renormSeed uint8) {
+		stream := decodeSamples(data)
+		capacity := 1 + int(capSeed)%64
+		renormEvery := int(renormSeed) % 64 // 0 disables renormalization
+		s := NewSlidingMoments(renormEvery)
+		window := make([]complex128, 0, capacity)
+		for _, z := range stream {
+			if len(window) == capacity {
+				s.Evict(window[0])
+				window = window[:copy(window, window[1:])]
+			}
+			s.Push(z)
+			window = append(window, z)
+			if s.NeedsRenorm() {
+				s.Renormalize(window)
+			}
+			requireMomentsMatch(t, &s, window)
+		}
+	})
+}

@@ -114,6 +114,19 @@ func Covariance(z []complex128) (varI, varQ, covIQ float64) {
 // circular thermal-noise clouds of similar variance.
 func Eccentricity(z []complex128) float64 {
 	varI, varQ, covIQ := Covariance(z)
+	return eccentricityOf(varI, varQ, covIQ)
+}
+
+// EccentricityFromCov is Eccentricity on precomputed covariance
+// entries, for callers that maintain sliding covariance sums and need
+// the elongation without a pass over the samples.
+func EccentricityFromCov(varI, varQ, covIQ float64) float64 {
+	return eccentricityOf(varI, varQ, covIQ)
+}
+
+// eccentricityOf is Eccentricity on precomputed covariance entries, so
+// moment accumulators can reuse it without a pass over the samples.
+func eccentricityOf(varI, varQ, covIQ float64) float64 {
 	tr := varI + varQ
 	if tr <= 0 {
 		return 0
