@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -289,4 +290,138 @@ func TestRadardRadarwatchPipeline(t *testing.T) {
 	if !blinked {
 		t.Fatal("radarwatch reported no blinks before the stream ended")
 	}
+}
+
+// TestRadardIngestFleet boots radard in fleet mode and pushes several
+// concurrent radar streams into it over the wire: hello, frames with a
+// deliberate sequence gap, disconnect. The admin metrics must show
+// every stream attached, every frame ingested, and every session
+// detached once the connections close.
+func TestRadardIngestFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI ingest test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	radard := buildTool(t, dir, "radard")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	daemon := exec.CommandContext(ctx, radard,
+		"-ingest", "127.0.0.1:0",
+		"-admin", "127.0.0.1:0",
+		"-ingest-bins", "16",
+		"-ingest-fps", "25",
+		"-ingest-shards", "2",
+	)
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// Parse both announced addresses off stderr.
+	ingestAddr := make(chan string, 1)
+	adminAddr := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stderr)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if i := strings.Index(line, " fps on "); i >= 0 {
+				rest := line[i+len(" fps on "):]
+				ingestAddr <- strings.Fields(rest)[0]
+			}
+			if i := strings.Index(line, "admin endpoints on "); i >= 0 {
+				rest := line[i+len("admin endpoints on "):]
+				adminAddr <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	var addr, base string
+	for addr == "" || base == "" {
+		select {
+		case a := <-ingestAddr:
+			addr = a
+		case a := <-adminAddr:
+			base = "http://" + a
+		case <-time.After(30 * time.Second):
+			t.Fatal("radard never announced its ingest/admin addresses")
+		}
+	}
+
+	// Push 4 concurrent streams of 100 frames each, every stream with
+	// one 5-frame sequence gap.
+	const streams, frames, gapAt, gapLen = 4, 100, 40, 5
+	push := func(stream int) error {
+		conn, err := netDial(addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		hello := transport.StreamHello{FrameRate: 25, BinSpacing: 0.0107, NumBins: 16}
+		if err := transport.EncodeHello(conn, hello); err != nil {
+			return err
+		}
+		enc := transport.NewEncoder(conn)
+		bins := make([]complex128, 16)
+		seq := uint64(1)
+		for k := 0; k < frames; k++ {
+			for b := range bins {
+				bins[b] = complex(float64(stream)*1e-4, float64(k%7)*1e-4)
+			}
+			if k == gapAt {
+				seq += gapLen
+			}
+			f := transport.Frame{Seq: seq, TimestampMicros: uint64(k) * 40_000, Bins: bins}
+			if err := enc.Encode(f); err != nil {
+				return err
+			}
+			seq++
+		}
+		return enc.Flush()
+	}
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		go func(i int) { errs <- push(i) }(i)
+	}
+	for i := 0; i < streams; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("stream push: %v", err)
+		}
+	}
+
+	// The daemon must account every stream: attached, ingested frame by
+	// frame, and detached when the connections closed.
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var snap struct {
+			Counters map[string]uint64 `json:"counters"`
+		}
+		resp, err := httpClient.Get(base + "/metrics")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+		}
+		if err == nil &&
+			snap.Counters["session_attaches_total"] == streams &&
+			snap.Counters["session_frames_total"] == streams*frames &&
+			snap.Counters["session_detaches_total"] == streams {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet accounting never converged: %v", snap.Counters)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// netDial dials with a bounded timeout.
+func netDial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 5*time.Second)
 }

@@ -57,8 +57,40 @@ func main() {
 
 		writeTimeout = flag.Duration("write-timeout", 0, "per-frame client write deadline (0 disables)")
 		slowPolicy   = flag.String("slow-policy", "disconnect", "slow-client treatment: disconnect or drop-frames")
+
+		ingestAddr     = flag.String("ingest", "", "fleet mode: accept inbound radar streams on this address instead of broadcasting (one session per connection)")
+		ingestShards   = flag.Int("ingest-shards", 0, "worker shards in fleet mode (0 = GOMAXPROCS)")
+		ingestMax      = flag.Int("ingest-max-sessions", 0, "admission cap on concurrent sessions (0 = unlimited)")
+		ingestPerShard = flag.Int("ingest-max-per-shard", 0, "admission cap per shard (0 = unlimited)")
+		ingestQueue    = flag.Int("ingest-queue", 0, "per-session frame-queue depth (0 = default 64)")
+		ingestRate     = flag.Float64("ingest-rate", 0, "per-session frame budget in frames/s (0 disables rate limiting)")
+		ingestBins     = flag.Int("ingest-bins", 40, "range bins every inbound stream must announce")
+		ingestFPS      = flag.Float64("ingest-fps", 25, "slow-time frame rate of inbound streams")
+		ingestWindow   = flag.Float64("ingest-window", 60, "assessment window in seconds")
 	)
 	flag.Parse()
+
+	if *ingestAddr != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		reg := obs.NewRegistry()
+		startAdmin(ctx, *adminAddr, reg, nil, logger)
+		err := runIngest(ctx, ingestOptions{
+			addr:        *ingestAddr,
+			shards:      *ingestShards,
+			maxSessions: *ingestMax,
+			perShard:    *ingestPerShard,
+			queueFrames: *ingestQueue,
+			rateLimit:   *ingestRate,
+			numBins:     *ingestBins,
+			frameRate:   *ingestFPS,
+			windowSec:   *ingestWindow,
+		}, reg, logger)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			logger.Fatal(err)
+		}
+		return
+	}
 
 	matrix, err := loadMatrix(*file, *subjectID, *duration, *drowsy, *seed, logger)
 	if err != nil {
@@ -128,24 +160,12 @@ func main() {
 	// streaming flips once the pump is live; /healthz reports 503 until
 	// then and again after the stream dies.
 	var streaming atomic.Bool
-	if *adminAddr != "" {
-		admin := obs.NewAdmin(reg, func() error {
-			if !streaming.Load() {
-				return errors.New("frame stream not running")
-			}
-			return nil
-		})
-		adminLn, err := net.Listen("tcp", *adminAddr)
-		if err != nil {
-			logger.Fatal(err)
+	startAdmin(ctx, *adminAddr, reg, func() error {
+		if !streaming.Load() {
+			return errors.New("frame stream not running")
 		}
-		go func() {
-			if err := admin.Serve(ctx, adminLn); err != nil {
-				logger.Printf("admin server: %v", err)
-			}
-		}()
-		logger.Printf("admin endpoints on %s (/metrics, /healthz, /debug/pprof/)", adminLn.Addr())
-	}
+		return nil
+	}, logger)
 
 	streaming.Store(true)
 	err = srv.Serve(ctx, ln)
@@ -153,6 +173,28 @@ func main() {
 	if err != nil && !errors.Is(err, context.Canceled) {
 		logger.Fatal(err)
 	}
+}
+
+// startAdmin serves /metrics, /healthz and pprof when addr is set. A
+// nil health func reports healthy unconditionally.
+func startAdmin(ctx context.Context, addr string, reg *obs.Registry, health func() error, logger *log.Logger) {
+	if addr == "" {
+		return
+	}
+	if health == nil {
+		health = func() error { return nil }
+	}
+	admin := obs.NewAdmin(reg, health)
+	adminLn, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	go func() {
+		if err := admin.Serve(ctx, adminLn); err != nil {
+			logger.Printf("admin server: %v", err)
+		}
+	}()
+	logger.Printf("admin endpoints on %s (/metrics, /healthz, /debug/pprof/)", adminLn.Addr())
 }
 
 // loadMatrix replays a capture file or simulates a fresh one.

@@ -134,6 +134,11 @@ func runLoop(t *testing.T, m *rf.FrameMatrix, speed float64,
 	if ccfg.MaxConsecutiveFailures == 0 {
 		ccfg.MaxConsecutiveFailures = 5
 	}
+	if ccfg.Rand == nil {
+		// Deterministic backoff jitter: a failing chaos run replays with
+		// the same reconnect schedule.
+		ccfg.Rand = rand.New(rand.NewSource(0x5EED))
+	}
 	rc := transport.NewReconnectingClient(addr, ccfg)
 	res.runErr = rc.Run(context.Background(), func(f transport.Frame) error {
 		if len(res.delivered) == 0 || f.Seq < res.minSeq {

@@ -143,6 +143,42 @@ func NewDetector(cfg Config, numBins int, frameRate float64, opts ...Option) (*D
 // Config returns the effective configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// DeliveryLagSec bounds how long after a blink's stamped Time the event
+// can surface from Feed. Consumers that bucket events into time windows
+// must hold a window open this long past its end before closing it, or
+// an event delivered just after the boundary lands in no window at all.
+func (d *Detector) DeliveryLagSec() float64 { return d.levd.DeliveryLagSec() }
+
+// Reset returns the detector to its just-constructed state without
+// releasing or reallocating any buffer, so a session pool can recycle
+// detectors across stream churn with zero steady-state allocations.
+// Unlike the internal gap-recovery path, nothing carries over: the
+// background clutter estimate, sigma history, event clock and all
+// counters are discarded — recycled state serves a different radar.
+func (d *Detector) Reset() {
+	d.pre.Reset()
+	d.ring.reset()
+	d.tracker.Reset()
+	d.levd.ResetFull()
+	d.med.Reset()
+	d.frame = 0
+	d.matured, d.everMatured, d.everSelected = false, false, false
+	d.challenger = 0
+	d.bin, d.binScore, d.haveBin = -1, 0, false
+	d.settleUntil = 0
+	d.restarts, d.binSwitches = 0, 0
+	d.in = InputStats{}
+	d.consecRejects = 0
+	d.haveGood = false
+	d.restartAt, d.sustain = 0, 0
+	d.distTrace = d.distTrace[:0]
+	d.thrTrace = d.thrTrace[:0]
+	d.eventCount = 0
+	d.allocPrevValid = false
+	d.framesSinceSamp = 0
+	d.setHealth(HealthAcquiring)
+}
+
 // SetRegistry attaches an observability registry. Call before feeding
 // frames. Exported metrics:
 //

@@ -149,6 +149,10 @@ func (m *DrowsinessModel) Classify(w WindowFeatures) (drowsy bool, posterior flo
 	if !m.trained {
 		return false, 0, fmt.Errorf("core: drowsiness model not trained")
 	}
+	if math.IsNaN(w.BlinkRate) || math.IsInf(w.BlinkRate, 0) ||
+		math.IsNaN(w.MeanBlinkDuration) || math.IsInf(w.MeanBlinkDuration, 0) {
+		return false, 0, fmt.Errorf("core: non-finite window features %+v", w)
+	}
 	la := m.awake.logLikelihood(w)
 	ld := m.drowsy.logLikelihood(w)
 	// Softmax over the two log-likelihoods.

@@ -398,6 +398,39 @@ func (l *LEVD) Reset() {
 	l.dir = 0
 }
 
+// ResetFull returns the detector to its as-constructed state without
+// reallocating any buffer: sigma history, the event clock and the
+// pending event are discarded along with the waveform state. Reset is
+// for same-stream restarts, where the noise floor and refractory carry
+// over; ResetFull is for recycling the detector onto a different stream
+// (session pooling), where nothing may carry over.
+func (l *LEVD) ResetFull() {
+	l.Reset()
+	l.ResetSigma()
+	l.floor = 0
+	l.frozen = false
+	l.lastEvent = math.Inf(-1)
+	l.frame = 0
+	l.pending = BlinkEvent{}
+	l.pendingSpan = 0
+	l.pendingStart = 0
+	l.prev = 0
+	l.extVal, l.extIdx, l.extMax = 0, 0, false
+}
+
+// DeliveryLagSec bounds how long after an event's stamped Time the
+// event can surface from Push (or Flush). An event is stamped at the
+// earlier extremum of its triggering pair minus the smoother group
+// delay, but is only emitted once its bump stops ringing: no further
+// above-threshold extremum for a full refractory period, with ringing
+// itself bounded by maxBlinkExtent past the onset. Window accounting
+// that waits this long past a boundary before closing the window is
+// guaranteed to have seen every event belonging to it (assuming the
+// ringing bound holds; pathological sustained ringing can exceed it).
+func (l *LEVD) DeliveryLagSec() float64 {
+	return maxBlinkExtent + l.refractory + (l.lagFrames+2)/l.fps
+}
+
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo

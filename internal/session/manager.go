@@ -1,0 +1,648 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinkradar"
+	"blinkradar/internal/obs"
+)
+
+// Typed rejection errors. Callers (the radard ingest listener) switch
+// on these to pick a wire-level response; none of them is transient
+// except ErrRateLimited, which clears as the bucket refills.
+var (
+	// ErrManagerClosed: the manager has been shut down.
+	ErrManagerClosed = errors.New("session: manager closed")
+	// ErrSessionExists: Attach with an ID that is already attached.
+	ErrSessionExists = errors.New("session: id already attached")
+	// ErrSessionNotFound: the ID is not attached.
+	ErrSessionNotFound = errors.New("session: no such session")
+	// ErrSessionLimit: admission control refused the attach (process or
+	// shard capacity reached).
+	ErrSessionLimit = errors.New("session: session limit reached")
+	// ErrRateLimited: the session's token bucket is empty; the frame
+	// was rejected, not queued.
+	ErrRateLimited = errors.New("session: rate limited")
+	// ErrGeometry: the frame's bin count does not match the manager's.
+	ErrGeometry = errors.New("session: frame geometry mismatch")
+)
+
+// Config parameterises a Manager. The zero value of every tuning field
+// picks a sensible default; NumBins and FrameRate are mandatory.
+type Config struct {
+	// NumBins is the range-bin count every stream must announce.
+	NumBins int
+	// FrameRate is the slow-time frame rate in frames per second.
+	FrameRate float64
+	// WindowSec is the base assessment-window span (default 60, the
+	// paper's setting).
+	WindowSec float64
+	// Core is the detection pipeline configuration. The zero value
+	// selects the paper-faithful blinkradar.DefaultConfig().
+	Core blinkradar.Config
+	// Shards is the number of worker shards (default GOMAXPROCS).
+	// Sessions map to shards by ID hash, so a session's frames are
+	// always fed by the same goroutine.
+	Shards int
+	// MaxSessions caps attached sessions process-wide; 0 = unlimited.
+	MaxSessions int
+	// MaxSessionsPerShard caps one shard's sessions; 0 = unlimited. A
+	// hash-unlucky shard rejects rather than silently serving a
+	// disproportionate share with one core.
+	MaxSessionsPerShard int
+	// QueueFrames is each session's frame-queue depth (default 64).
+	QueueFrames int
+	// RateLimit is the per-session sustained frame budget in frames
+	// per second; 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth (default 2×RateLimit).
+	RateBurst float64
+	// DropWindowFrames is the backpressure evaluation window: the drop
+	// fraction is measured over this many submitted frames (default
+	// 256).
+	DropWindowFrames int
+	// WidenAtDropFrac escalates a session to PressureWidened when its
+	// drop fraction reaches this value (default 0.25).
+	WidenAtDropFrac float64
+	// DegradeAtDropFrac escalates to PressureDegraded (default 0.5).
+	DegradeAtDropFrac float64
+	// WidenFactor multiplies the assessment window while widened
+	// (default 2).
+	WidenFactor float64
+	// DrainBatchFrames bounds how many frames a worker feeds one
+	// session before moving to the next, so a busy stream cannot
+	// starve its shard-mates (default 16).
+	DrainBatchFrames int
+	// Registry, when non-nil, exports fleet metrics.
+	Registry *obs.Registry
+	// Now supplies the rate-limiter clock (default time.Now); tests
+	// inject a fake.
+	Now func() time.Time
+	// OnBlink, when non-nil, runs on the shard worker for every blink.
+	// It must be fast and must not call Manager methods (the worker
+	// holds the session's feed lock).
+	OnBlink func(id string, ev blinkradar.BlinkEvent)
+	// OnAssessment is OnBlink's counterpart for window assessments.
+	OnAssessment func(id string, a blinkradar.Assessment)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Core == (blinkradar.Config{}) {
+		c.Core = blinkradar.DefaultConfig()
+	}
+	if c.WindowSec <= 0 {
+		c.WindowSec = 60
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueFrames <= 0 {
+		c.QueueFrames = 64
+	}
+	if c.DropWindowFrames <= 0 {
+		c.DropWindowFrames = 256
+	}
+	if c.WidenAtDropFrac <= 0 {
+		c.WidenAtDropFrac = 0.25
+	}
+	if c.DegradeAtDropFrac <= 0 {
+		c.DegradeAtDropFrac = 0.5
+	}
+	if c.WidenFactor < 1 {
+		c.WidenFactor = 2
+	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = 2 * c.RateLimit
+	}
+	if c.DrainBatchFrames <= 0 {
+		c.DrainBatchFrames = 16
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// shard is one worker goroutine plus the sessions hashed to it.
+type shard struct {
+	mgr      *Manager
+	idx      int
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	free     []*Session // free-list pool, guarded by mgr.admit
+	wake     chan struct{}
+	scratch  []*Session // worker-only drain snapshot
+
+	gSessions   *obs.Gauge
+	gQueued     *obs.Gauge
+	gSaturation *obs.Gauge
+}
+
+// Manager shards radar sessions across per-core workers. All methods
+// are safe for concurrent use; Submit for distinct sessions contends
+// only within a shard.
+type Manager struct {
+	cfg    Config
+	shards []*shard
+
+	// admit serialises attach/detach and guards the free lists and the
+	// session count. Churn is not the hot path; frames are.
+	admit     sync.Mutex
+	nSessions int
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// Aggregate accounting.
+	attaches   atomic.Uint64
+	detaches   atomic.Uint64
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+	rejects    atomic.Uint64
+	framesIn   atomic.Uint64
+	frDropped  atomic.Uint64
+	frLimited  atomic.Uint64
+	frDone     atomic.Uint64
+	widens     atomic.Uint64
+	degrades   atomic.Uint64
+
+	mAttaches   *obs.Counter
+	mDetaches   *obs.Counter
+	mPoolHits   *obs.Counter
+	mPoolMisses *obs.Counter
+	mRejects    *obs.Counter
+	mFrames     *obs.Counter
+	mDropped    *obs.Counter
+	mLimited    *obs.Counter
+	mWidens     *obs.Counter
+	mDegrades   *obs.Counter
+}
+
+// NewManager validates the configuration, builds the shards, and
+// starts one worker goroutine per shard. Close joins them.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumBins <= 0 {
+		return nil, fmt.Errorf("session: NumBins must be positive, got %d", cfg.NumBins)
+	}
+	if cfg.FrameRate <= 0 {
+		return nil, fmt.Errorf("session: FrameRate must be positive, got %g", cfg.FrameRate)
+	}
+	// Probe-build one monitor now so a bad core config fails loudly at
+	// construction, not on the first attach.
+	if _, err := blinkradar.NewMonitor(cfg.Core, cfg.NumBins, cfg.FrameRate, cfg.WindowSec); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	if r := cfg.Registry; r != nil {
+		m.mAttaches = r.Counter("session_attaches_total")
+		m.mDetaches = r.Counter("session_detaches_total")
+		m.mPoolHits = r.Counter("session_pool_hits_total")
+		m.mPoolMisses = r.Counter("session_pool_misses_total")
+		m.mRejects = r.Counter("session_rejects_total")
+		m.mFrames = r.Counter("session_frames_total")
+		m.mDropped = r.Counter("session_frames_dropped_total")
+		m.mLimited = r.Counter("session_frames_limited_total")
+		m.mWidens = r.Counter("session_widen_total")
+		m.mDegrades = r.Counter("session_degrade_total")
+	}
+	for i := range m.shards {
+		sh := &shard{
+			mgr:      m,
+			idx:      i,
+			sessions: make(map[string]*Session),
+			wake:     make(chan struct{}, 1),
+		}
+		if r := cfg.Registry; r != nil {
+			// Bounded construction-time loop: one gauge set per shard,
+			// shard count fixed for the manager's lifetime.
+			name := shardGaugeName(i)
+			sh.gSessions = r.Gauge(name + "_sessions")     //blinkvet:ignore metrichygiene per-shard gauges, bounded at construction
+			sh.gQueued = r.Gauge(name + "_queued_frames")  //blinkvet:ignore metrichygiene per-shard gauges, bounded at construction
+			sh.gSaturation = r.Gauge(name + "_saturation") //blinkvet:ignore metrichygiene per-shard gauges, bounded at construction
+		}
+		m.shards[i] = sh
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			sh.run()
+		}()
+	}
+	return m, nil
+}
+
+// shardGaugeName is the per-shard metric name prefix.
+func shardGaugeName(idx int) string {
+	return fmt.Sprintf("session_shard%d", idx)
+}
+
+// shardFor hashes the session ID (FNV-1a) onto a shard.
+//
+//blinkradar:hotpath
+func (m *Manager) shardFor(id string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return m.shards[h%uint64(len(m.shards))]
+}
+
+// Attach admits a new session. Steady-state churn performs no
+// allocations: detached sessions park on their shard's free list and
+// are recycled, monitor state and queue storage included.
+func (m *Manager) Attach(id string) error {
+	if id == "" {
+		return fmt.Errorf("session: empty id")
+	}
+	m.admit.Lock()
+	defer m.admit.Unlock()
+	if m.closed.Load() {
+		return ErrManagerClosed
+	}
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	_, exists := sh.sessions[id]
+	nShard := len(sh.sessions)
+	sh.mu.RUnlock()
+	if exists {
+		return ErrSessionExists
+	}
+	if m.cfg.MaxSessions > 0 && m.nSessions >= m.cfg.MaxSessions {
+		m.rejects.Add(1)
+		m.mRejects.Inc()
+		return ErrSessionLimit
+	}
+	if m.cfg.MaxSessionsPerShard > 0 && nShard >= m.cfg.MaxSessionsPerShard {
+		m.rejects.Add(1)
+		m.mRejects.Inc()
+		return ErrSessionLimit
+	}
+	var s *Session
+	if k := len(sh.free); k > 0 {
+		s = sh.free[k-1]
+		sh.free[k-1] = nil
+		sh.free = sh.free[:k-1]
+		m.poolHits.Add(1)
+		m.mPoolHits.Inc()
+	} else {
+		mon, err := blinkradar.NewMonitor(m.cfg.Core, m.cfg.NumBins, m.cfg.FrameRate, m.cfg.WindowSec)
+		if err != nil {
+			return err
+		}
+		s = newSession(m.cfg.NumBins, m.cfg.QueueFrames, mon, m.cfg.WindowSec)
+		m.poolMisses.Add(1)
+		m.mPoolMisses.Inc()
+	}
+	s.id = id
+	s.tokens = m.cfg.RateBurst
+	s.lastRefill = m.cfg.Now()
+	sh.mu.Lock()
+	sh.sessions[id] = s
+	nShard = len(sh.sessions)
+	sh.mu.Unlock()
+	m.nSessions++
+	m.attaches.Add(1)
+	m.mAttaches.Inc()
+	sh.gSessions.Set(float64(nShard))
+	return nil
+}
+
+// Detach removes a session, recycles its state into the shard pool, and
+// returns its final accounting (frames still queued are folded into
+// Dropped, so Submitted == Processed + Dropped in the result).
+func (m *Manager) Detach(id string) (SessionStats, error) {
+	m.admit.Lock()
+	defer m.admit.Unlock()
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	nShard := len(sh.sessions)
+	sh.mu.Unlock()
+	if !ok {
+		return SessionStats{}, ErrSessionNotFound
+	}
+	// Wait out any in-flight feed batch, then recycle under the lock.
+	s.feedMu.Lock()
+	discarded := uint64(s.queued())
+	stats := s.recycle(m.cfg.WindowSec)
+	s.feedMu.Unlock()
+	stats.ID = id
+	if discarded > 0 {
+		// Frames still queued were never fed; fold them into the
+		// fleet-level drop accounting like the session-level recycle
+		// does, so Frames == Processed + Dropped + Queued stays exact.
+		m.frDropped.Add(discarded)
+		m.mDropped.Add(discarded)
+	}
+	sh.free = append(sh.free, s)
+	m.nSessions--
+	m.detaches.Add(1)
+	m.mDetaches.Inc()
+	sh.gSessions.Set(float64(nShard))
+	return stats, nil
+}
+
+// Submit offers one frame to a session. The frame is copied into the
+// session's queue; the caller may reuse the slice immediately. A full
+// queue drops the frame (accounted, and surfaced to the pipeline as a
+// gap); an empty token bucket rejects it with ErrRateLimited.
+//
+//blinkradar:hotpath
+func (m *Manager) Submit(id string, frame []complex128) error {
+	if m.closed.Load() {
+		return ErrManagerClosed
+	}
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s := sh.sessions[id]
+	var gen uint64
+	if s != nil {
+		gen = s.gen.Load()
+	}
+	sh.mu.RUnlock()
+	if s == nil {
+		return ErrSessionNotFound
+	}
+	if len(frame) != s.bins {
+		return ErrGeometry
+	}
+	limit, burst := m.cfg.RateLimit, m.cfg.RateBurst
+	s.qmu.Lock()
+	if s.gen.Load() != gen {
+		// The session was detached (and possibly recycled for another
+		// stream) between lookup and here.
+		s.qmu.Unlock()
+		return ErrSessionNotFound
+	}
+	if limit > 0 && !s.takeToken(m.cfg.Now(), limit, burst) {
+		s.qmu.Unlock()
+		s.limited.Add(1)
+		m.frLimited.Add(1)
+		m.mLimited.Inc()
+		return ErrRateLimited
+	}
+	accepted := s.push(frame)
+	from, to, changed := s.noteSubmit(accepted, m.cfg.DropWindowFrames, m.cfg.WidenAtDropFrac, m.cfg.DegradeAtDropFrac)
+	s.qmu.Unlock()
+	s.submitted.Add(1)
+	m.framesIn.Add(1)
+	m.mFrames.Inc()
+	if !accepted {
+		s.dropped.Add(1)
+		m.frDropped.Add(1)
+		m.mDropped.Inc()
+	}
+	if changed {
+		m.applyPressure(s, from, to)
+	}
+	sh.wakeWorker()
+	return nil
+}
+
+// applyPressure records a level transition and posts the window span it
+// implies; the shard worker applies the span to the monitor.
+func (m *Manager) applyPressure(s *Session, from, to PressureState) {
+	span := m.cfg.WindowSec
+	if to >= PressureWidened {
+		span = m.cfg.WindowSec * m.cfg.WidenFactor
+	}
+	s.wantWindow.Store(math.Float64bits(span))
+	if to > from {
+		if to == PressureDegraded {
+			m.degrades.Add(1)
+			m.mDegrades.Inc()
+		} else {
+			m.widens.Add(1)
+			m.mWidens.Inc()
+		}
+	}
+}
+
+// NoteGap reports an upstream frame loss (e.g. a transport sequence
+// gap) for a session. It is attached to the next accepted frame and
+// delivered to the pipeline before that frame is fed.
+func (m *Manager) NoteGap(id string, missed uint64) error {
+	if missed == 0 {
+		return nil
+	}
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s := sh.sessions[id]
+	var gen uint64
+	if s != nil {
+		gen = s.gen.Load()
+	}
+	sh.mu.RUnlock()
+	if s == nil {
+		return ErrSessionNotFound
+	}
+	s.qmu.Lock()
+	if s.gen.Load() != gen {
+		s.qmu.Unlock()
+		return ErrSessionNotFound
+	}
+	s.pendingGap += missed
+	s.qmu.Unlock()
+	return nil
+}
+
+// SessionStats returns a point-in-time view of one session.
+func (m *Manager) SessionStats(id string) (SessionStats, error) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s := sh.sessions[id]
+	sh.mu.RUnlock()
+	if s == nil {
+		return SessionStats{}, ErrSessionNotFound
+	}
+	st := s.snapshot()
+	st.ID = id
+	st.Queued = uint64(s.queued())
+	return st, nil
+}
+
+// ManagerStats is the fleet-wide accounting aggregate.
+type ManagerStats struct {
+	// Sessions is the number of sessions currently attached.
+	Sessions int
+	// Queued is the total frame backlog across all sessions.
+	Queued uint64
+	// Attaches and Detaches count lifetime churn.
+	Attaches, Detaches uint64
+	// PoolHits and PoolMisses split attaches by whether state was
+	// recycled from the pool or newly allocated.
+	PoolHits, PoolMisses uint64
+	// Rejects counts admission refusals.
+	Rejects uint64
+	// Frames, Dropped, Limited, Processed count frames across all
+	// sessions' lifetimes (detached sessions included).
+	Frames, Dropped, Limited, Processed uint64
+	// Widens and Degrades count backpressure escalations.
+	Widens, Degrades uint64
+}
+
+// Stats aggregates accounting across every shard. The per-session walk
+// (for Queued) takes each shard's read lock briefly.
+func (m *Manager) Stats() ManagerStats {
+	st := ManagerStats{
+		Attaches:   m.attaches.Load(),
+		Detaches:   m.detaches.Load(),
+		PoolHits:   m.poolHits.Load(),
+		PoolMisses: m.poolMisses.Load(),
+		Rejects:    m.rejects.Load(),
+		Frames:     m.framesIn.Load(),
+		Dropped:    m.frDropped.Load(),
+		Limited:    m.frLimited.Load(),
+		Processed:  m.frDone.Load(),
+		Widens:     m.widens.Load(),
+		Degrades:   m.degrades.Load(),
+	}
+	for _, sh := range m.shards {
+		sh.mu.RLock()
+		st.Sessions += len(sh.sessions)
+		for _, s := range sh.sessions {
+			st.Queued += uint64(s.queued())
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Sessions returns the number of sessions currently attached.
+func (m *Manager) Sessions() int {
+	m.admit.Lock()
+	n := m.nSessions
+	m.admit.Unlock()
+	return n
+}
+
+// Close stops every shard worker and waits for them. Attached sessions
+// are not detached; their queues simply stop draining. Close is
+// idempotent in effect but returns ErrManagerClosed after the first
+// call.
+func (m *Manager) Close() error {
+	if m.closed.Swap(true) {
+		return ErrManagerClosed
+	}
+	close(m.stop)
+	m.wg.Wait()
+	return nil
+}
+
+// wakeWorker nudges the shard worker; a pending nudge is enough.
+//
+//blinkradar:hotpath
+func (sh *shard) wakeWorker() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the shard worker: drain every session's queue in bounded
+// batches until nothing is left, then sleep on the wake channel.
+func (sh *shard) run() {
+	for {
+		select {
+		case <-sh.mgr.stop:
+			return
+		case <-sh.wake:
+		}
+		for sh.drainPass() > 0 {
+			select {
+			case <-sh.mgr.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// drainPass feeds up to DrainBatchFrames frames from every session and
+// reports the total fed. The session snapshot is taken under the read
+// lock into a reused scratch slice so the map is never held across
+// pipeline work.
+func (sh *shard) drainPass() int {
+	sh.scratch = sh.scratch[:0]
+	sh.mu.RLock()
+	for _, s := range sh.sessions {
+		sh.scratch = append(sh.scratch, s)
+	}
+	sh.mu.RUnlock()
+	total, queued := 0, 0
+	for _, s := range sh.scratch {
+		total += sh.drainSession(s)
+		queued += s.queued()
+	}
+	sh.gQueued.Set(float64(queued))
+	if capacity := len(sh.scratch) * sh.mgr.cfg.QueueFrames; capacity > 0 {
+		sh.gSaturation.Set(float64(queued) / float64(capacity))
+	} else {
+		sh.gSaturation.Set(0)
+	}
+	for i := range sh.scratch {
+		sh.scratch[i] = nil
+	}
+	return total
+}
+
+// drainSession feeds one bounded batch from a session's queue through
+// its pipeline. peek/commitPop bracket each feed so the slot cannot be
+// overwritten mid-feed; feedMu keeps detach from recycling state under
+// the worker.
+func (sh *shard) drainSession(s *Session) int {
+	s.feedMu.Lock()
+	defer s.feedMu.Unlock()
+	if want := s.loadWantWindow(); want != s.appliedWindow {
+		if err := s.mon.SetWindowSec(want); err == nil {
+			s.appliedWindow = want
+		}
+	}
+	cfg := &sh.mgr.cfg
+	fed := 0
+	for fed < cfg.DrainBatchFrames {
+		frame, gap, ok := s.peek()
+		if !ok {
+			break
+		}
+		if gap > 0 {
+			s.mon.NoteGap(gap)
+		}
+		ev, okEv, a, err := s.mon.Feed(frame)
+		s.commitPop()
+		s.processed.Add(1)
+		sh.mgr.frDone.Add(1)
+		fed++
+		if err != nil {
+			s.assessErrs.Add(1)
+		}
+		if okEv {
+			s.blinks.Add(1)
+			if cfg.OnBlink != nil {
+				cfg.OnBlink(s.id, ev)
+			}
+		}
+		if a != nil {
+			s.assessments.Add(1)
+			if cfg.OnAssessment != nil {
+				cfg.OnAssessment(s.id, *a)
+			}
+		}
+	}
+	return fed
+}

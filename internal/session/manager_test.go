@@ -1,0 +1,589 @@
+package session
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"blinkradar"
+	"blinkradar/internal/obs"
+)
+
+// testConfig is a small-geometry manager config that keeps unit tests
+// fast; individual tests override fields.
+func testConfig() Config {
+	return Config{
+		NumBins:   16,
+		FrameRate: 25,
+		WindowSec: 2,
+		Core:      blinkradar.DefaultConfig(),
+		Shards:    2,
+	}
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// testFrame fills a deterministic, finite radar frame.
+func testFrame(bins int, seed int) []complex128 {
+	f := make([]complex128, bins)
+	for b := range f {
+		ph := float64(seed)*0.13 + float64(b)*0.7
+		f[b] = complex(math.Cos(ph), math.Sin(ph)) * 1e-3
+	}
+	return f
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// lookup fetches the live session object for white-box assertions.
+func lookup(t *testing.T, m *Manager, id string) *Session {
+	t.Helper()
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s := sh.sessions[id]
+	sh.mu.RUnlock()
+	if s == nil {
+		t.Fatalf("session %q not attached", id)
+	}
+	return s
+}
+
+func TestSubmitFeedsPipeline(t *testing.T) {
+	m := newTestManager(t, testConfig())
+	if err := m.Attach("car-1"); err != nil {
+		t.Fatal(err)
+	}
+	frame := testFrame(16, 1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := m.Submit("car-1", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "queue drain", func() bool {
+		st, err := m.SessionStats("car-1")
+		return err == nil && st.Processed+st.Dropped == n && st.Queued == 0
+	})
+	st, err := m.SessionStats("car-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != n {
+		t.Fatalf("submitted %d, want %d", st.Submitted, n)
+	}
+	if st.Submitted != st.Processed+st.Dropped+st.Queued {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	final, err := m.Detach("car-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Submitted != final.Processed+final.Dropped {
+		t.Fatalf("detach accounting broken: %+v", final)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSessions = 3
+	m := newTestManager(t, cfg)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := m.Attach(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Attach("d"); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("over-capacity attach: got %v, want ErrSessionLimit", err)
+	}
+	if err := m.Attach("a"); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate attach: got %v, want ErrSessionExists", err)
+	}
+	if _, err := m.Detach("nope"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("detach of unknown id: got %v, want ErrSessionNotFound", err)
+	}
+	if err := m.Submit("nope", testFrame(16, 0)); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("submit to unknown id: got %v, want ErrSessionNotFound", err)
+	}
+	if err := m.Submit("a", testFrame(8, 0)); !errors.Is(err, ErrGeometry) {
+		t.Fatalf("wrong-geometry submit: got %v, want ErrGeometry", err)
+	}
+	if _, err := m.Detach("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach("d"); err != nil {
+		t.Fatalf("attach after detach freed capacity: %v", err)
+	}
+	if got := m.Stats().Rejects; got != 1 {
+		t.Fatalf("rejects counter %d, want 1", got)
+	}
+}
+
+func TestPerShardAdmissionLimit(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 2
+	cfg.MaxSessionsPerShard = 2
+	m := newTestManager(t, cfg)
+	// Fill one specific shard to its cap using IDs that hash to it.
+	target := m.shardFor("seed")
+	attached := 0
+	rejected := false
+	for i := 0; attached < 4 && i < 4096; i++ {
+		id := "s" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		if m.shardFor(id) != target {
+			continue
+		}
+		err := m.Attach(id)
+		switch {
+		case err == nil:
+			attached++
+		case errors.Is(err, ErrSessionLimit):
+			rejected = true
+		default:
+			t.Fatal(err)
+		}
+		if rejected {
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("per-shard limit never rejected an attach")
+	}
+	if attached != 2 {
+		t.Fatalf("shard admitted %d sessions, want 2", attached)
+	}
+}
+
+func TestShardAffinity(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 4
+	m := newTestManager(t, cfg)
+	used := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		id := "veh-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if err := m.Attach(id); err != nil {
+			t.Fatal(err)
+		}
+		// The session must live in exactly the shard the hash names,
+		// and repeat lookups must agree (stable affinity).
+		sh := m.shardFor(id)
+		if sh != m.shardFor(id) {
+			t.Fatalf("shardFor(%q) unstable", id)
+		}
+		sh.mu.RLock()
+		_, ok := sh.sessions[id]
+		sh.mu.RUnlock()
+		if !ok {
+			t.Fatalf("session %q not in its hash shard", id)
+		}
+		used[sh.idx] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("64 sessions landed in %d shard(s); hash is not spreading", len(used))
+	}
+}
+
+func TestAttachDetachChurnAllocFree(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	m := newTestManager(t, cfg)
+	frame := testFrame(16, 7)
+
+	// First attach allocates the pooled state (a pool miss)...
+	if err := m.Attach("churn"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := m.Submit("churn", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "drain before churn", func() bool {
+		st, _ := m.SessionStats("churn")
+		return st.Queued == 0
+	})
+	if _, err := m.Detach("churn"); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...after which churn on the same shard recycles it: zero allocs
+	// per attach/detach cycle is the pool's contract.
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Attach("churn"); err != nil {
+			panic(err)
+		}
+		if _, err := m.Detach("churn"); err != nil {
+			panic(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("attach/detach churn allocates %.1f per cycle, want 0", allocs)
+	}
+	st := m.Stats()
+	if st.PoolMisses != 1 {
+		t.Fatalf("pool misses %d, want 1 (only the cold attach)", st.PoolMisses)
+	}
+	if st.PoolHits < 200 {
+		t.Fatalf("pool hits %d, want >= 200", st.PoolHits)
+	}
+}
+
+func TestDetachResetsRecycledState(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	m := newTestManager(t, cfg)
+	frame := testFrame(16, 3)
+	if err := m.Attach("first"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := m.Submit("first", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "drain", func() bool {
+		st, _ := m.SessionStats("first")
+		return st.Queued == 0
+	})
+	if _, err := m.Detach("first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach("second"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.SessionStats("second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted != 0 || st.Processed != 0 || st.Dropped != 0 || st.Blinks != 0 {
+		t.Fatalf("recycled session leaked accounting: %+v", st)
+	}
+	if st.Pressure != PressureNormal {
+		t.Fatalf("recycled session pressure %v, want normal", st.Pressure)
+	}
+	s := lookup(t, m, "second")
+	if s.mon.Detector().Frame() != 0 {
+		t.Fatalf("recycled detector carries %d frames of the previous stream", s.mon.Detector().Frame())
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.RateLimit = 10
+	cfg.RateBurst = 5
+	cfg.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	m := newTestManager(t, cfg)
+	if err := m.Attach("limited"); err != nil {
+		t.Fatal(err)
+	}
+	frame := testFrame(16, 9)
+	for i := 0; i < 5; i++ {
+		if err := m.Submit("limited", frame); err != nil {
+			t.Fatalf("within burst, frame %d: %v", i, err)
+		}
+	}
+	if err := m.Submit("limited", frame); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst exhausted: got %v, want ErrRateLimited", err)
+	}
+	mu.Lock()
+	now = now.Add(300 * time.Millisecond) // refills 3 tokens at 10/s
+	mu.Unlock()
+	for i := 0; i < 3; i++ {
+		if err := m.Submit("limited", frame); err != nil {
+			t.Fatalf("after refill, frame %d: %v", i, err)
+		}
+	}
+	if err := m.Submit("limited", frame); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("refill overspent: got %v, want ErrRateLimited", err)
+	}
+	st, err := m.SessionStats("limited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Limited != 2 {
+		t.Fatalf("limited count %d, want 2", st.Limited)
+	}
+	if st.Submitted != 8 {
+		t.Fatalf("submitted %d, want 8 (limited frames never enter accounting)", st.Submitted)
+	}
+}
+
+// TestBackpressureTransitions drives the full graceful-degradation
+// ladder deterministically: the worker is parked on the session's feed
+// lock so queue overflow is exact, then released so drop-free windows
+// step the level back down.
+func TestBackpressureTransitions(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.WindowSec = 2
+	cfg.WidenFactor = 2
+	cfg.QueueFrames = 12
+	cfg.DropWindowFrames = 16
+	cfg.WidenAtDropFrac = 0.25
+	cfg.DegradeAtDropFrac = 0.5
+	m := newTestManager(t, cfg)
+	if err := m.Attach("bp"); err != nil {
+		t.Fatal(err)
+	}
+	s := lookup(t, m, "bp")
+	frame := testFrame(16, 5)
+
+	// Park the worker: nothing drains while we overflow the queue.
+	s.feedMu.Lock()
+	// Window 1: 12 accepted + 4 dropped = 25% -> widened.
+	for i := 0; i < 16; i++ {
+		if err := m.Submit("bp", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Pressure(); got != PressureWidened {
+		s.feedMu.Unlock()
+		t.Fatalf("after 25%% drops: pressure %v, want widened", got)
+	}
+	if st, _ := m.SessionStats("bp"); st.WindowSec != 4 {
+		s.feedMu.Unlock()
+		t.Fatalf("widened window %g s, want 4 (2 s × factor 2)", st.WindowSec)
+	}
+	// Window 2: queue still full, 16/16 dropped -> degraded, and the
+	// session's health reports degraded regardless of the detector.
+	for i := 0; i < 16; i++ {
+		if err := m.Submit("bp", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Pressure(); got != PressureDegraded {
+		s.feedMu.Unlock()
+		t.Fatalf("after 100%% drops: pressure %v, want degraded", got)
+	}
+	if st, _ := m.SessionStats("bp"); st.Health != blinkradar.HealthDegraded {
+		s.feedMu.Unlock()
+		t.Fatalf("degraded session health %v, want HealthDegraded", st.Health)
+	}
+	s.feedMu.Unlock()
+
+	// Recovery: drop-free evaluation windows step down one level each.
+	cleanWindow := func() {
+		t.Helper()
+		for i := 0; i < 16; i++ {
+			var before uint64
+			waitFor(t, "queue space", func() bool {
+				st, err := m.SessionStats("bp")
+				if err != nil {
+					return false
+				}
+				before = st.Dropped
+				return st.Queued < uint64(cfg.QueueFrames)
+			})
+			if err := m.Submit("bp", frame); err != nil {
+				t.Fatal(err)
+			}
+			if st, _ := m.SessionStats("bp"); st.Dropped != before {
+				t.Fatal("paced submit still dropped a frame")
+			}
+		}
+	}
+	cleanWindow()
+	if got := s.Pressure(); got != PressureWidened {
+		t.Fatalf("after one clean window: pressure %v, want widened (one step down)", got)
+	}
+	cleanWindow()
+	if got := s.Pressure(); got != PressureNormal {
+		t.Fatalf("after two clean windows: pressure %v, want normal", got)
+	}
+	if st, _ := m.SessionStats("bp"); st.WindowSec != 2 {
+		t.Fatalf("restored window %g s, want 2", st.WindowSec)
+	}
+	// The worker must also have applied the restored span to the
+	// monitor once it drained post-recovery frames.
+	waitFor(t, "window restore to reach the monitor", func() bool {
+		st, err := m.SessionStats("bp")
+		if err != nil || st.Queued > 0 {
+			return false
+		}
+		s.feedMu.Lock()
+		applied := s.appliedWindow
+		s.feedMu.Unlock()
+		return applied == 2
+	})
+}
+
+// TestDroppedFramesSurfaceAsGaps verifies backpressure drops are not
+// silent: the pipeline is told about the hole before the next frame.
+func TestDroppedFramesSurfaceAsGaps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.QueueFrames = 4
+	m := newTestManager(t, cfg)
+	if err := m.Attach("gappy"); err != nil {
+		t.Fatal(err)
+	}
+	s := lookup(t, m, "gappy")
+	frame := testFrame(16, 11)
+
+	s.feedMu.Lock()
+	for i := 0; i < 7; i++ { // 4 queued, 3 dropped
+		if err := m.Submit("gappy", frame); err != nil {
+			s.feedMu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	// An upstream transport gap folds into the same pending hole.
+	if err := m.NoteGap("gappy", 5); err != nil {
+		s.feedMu.Unlock()
+		t.Fatal(err)
+	}
+	s.qmu.Lock()
+	pending := s.pendingGap
+	s.qmu.Unlock()
+	s.feedMu.Unlock()
+	if pending != 8 {
+		t.Fatalf("pending gap %d, want 8 (3 dropped + 5 upstream)", pending)
+	}
+	waitFor(t, "drain", func() bool {
+		st, _ := m.SessionStats("gappy")
+		return st.Queued == 0
+	})
+	// The next accepted frame carries the hole to the pipeline.
+	if err := m.Submit("gappy", frame); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "gap delivery", func() bool {
+		st, _ := m.SessionStats("gappy")
+		return st.Queued == 0
+	})
+	// The detector saw the gap: its input accounting matches exactly.
+	if gaps := s.mon.InputStats(); gaps.GapFrames != 8 {
+		t.Fatalf("pipeline heard about %d lost frames, want 8: %+v", gaps.GapFrames, gaps)
+	}
+}
+
+func TestCloseRejectsFurtherWork(t *testing.T) {
+	m, err := NewManager(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("second close: got %v, want ErrManagerClosed", err)
+	}
+	if err := m.Submit("x", testFrame(16, 0)); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("submit after close: got %v, want ErrManagerClosed", err)
+	}
+	if err := m.Attach("y"); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("attach after close: got %v, want ErrManagerClosed", err)
+	}
+}
+
+// TestConcurrentChurnAndSubmit hammers attach/detach/submit from many
+// goroutines; run with -race this is the aliasing/liveness check for
+// the shard maps, free lists, and queues.
+func TestConcurrentChurnAndSubmit(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 4
+	m := newTestManager(t, cfg)
+	ids := make([]string, 32)
+	for i := range ids {
+		ids[i] = "fleet-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := m.Attach(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			frame := testFrame(16, w)
+			for i := 0; i < 400; i++ {
+				id := ids[(w*400+i)%len(ids)]
+				switch {
+				case i%97 == 0:
+					// Churn: flap the session under live traffic.
+					if _, err := m.Detach(id); err == nil {
+						for m.Attach(id) != nil {
+							time.Sleep(time.Microsecond)
+						}
+					}
+				default:
+					err := m.Submit(id, frame)
+					if err != nil && !errors.Is(err, ErrSessionNotFound) {
+						panic(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitFor(t, "drain after churn", func() bool {
+		return m.Stats().Queued == 0
+	})
+	st := m.Stats()
+	if st.Frames != st.Processed+st.Dropped {
+		t.Fatalf("fleet accounting broken after churn: %+v", st)
+	}
+	if st.Sessions != len(ids) {
+		t.Fatalf("%d sessions attached after churn, want %d", st.Sessions, len(ids))
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig()
+	cfg.Shards = 2
+	cfg.Registry = reg
+	m := newTestManager(t, cfg)
+	if err := m.Attach("metered"); err != nil {
+		t.Fatal(err)
+	}
+	frame := testFrame(16, 2)
+	for i := 0; i < 10; i++ {
+		if err := m.Submit("metered", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "drain", func() bool {
+		st, _ := m.SessionStats("metered")
+		return st.Queued == 0
+	})
+	if got := reg.Counter("session_attaches_total").Value(); got != 1 {
+		t.Fatalf("session_attaches_total = %d, want 1", got)
+	}
+	if got := reg.Counter("session_frames_total").Value(); got != 10 {
+		t.Fatalf("session_frames_total = %d, want 10", got)
+	}
+	sh := m.shardFor("metered")
+	if got := reg.Gauge(shardGaugeName(sh.idx) + "_sessions").Value(); got != 1 {
+		t.Fatalf("shard session gauge = %g, want 1", got)
+	}
+}

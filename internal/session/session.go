@@ -1,0 +1,339 @@
+// Package session is the fleet service layer: one radard process
+// serving thousands of concurrent radar streams. A Manager shards
+// sessions across per-core worker goroutines (session → shard by ID
+// hash), recycles detector/monitor state through a free-list pool so
+// stream churn costs no steady-state allocations, admits new sessions
+// against hard capacity limits, rate-limits each stream with a token
+// bucket, and degrades gracefully under backpressure: first frames are
+// dropped (and accounted as sequence gaps the pipeline is told about),
+// then the session's assessment window is widened so the blink-rate
+// feature stays meaningful on a thinned stream, and finally the session
+// is marked degraded.
+package session
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	blinkradar "blinkradar"
+)
+
+// PressureState is a session's backpressure level. Escalation is
+// immediate (a single bad evaluation window can jump straight to
+// degraded); de-escalation steps down one level per completely
+// drop-free evaluation window, which is the hysteresis that keeps a
+// session from oscillating at a threshold.
+type PressureState int32
+
+const (
+	// PressureNormal: drops, if any, are below the widen threshold.
+	PressureNormal PressureState = iota
+	// PressureWidened: sustained drops; the assessment window has been
+	// widened by the configured factor so enough blinks still land in
+	// each window for the rate feature to be meaningful.
+	PressureWidened
+	// PressureDegraded: severe drops; the session's health is reported
+	// as degraded and its assessments should not be trusted.
+	PressureDegraded
+)
+
+func (p PressureState) String() string {
+	switch p {
+	case PressureNormal:
+		return "normal"
+	case PressureWidened:
+		return "widened"
+	case PressureDegraded:
+		return "degraded"
+	default:
+		return "unknown"
+	}
+}
+
+// Session is one attached radar stream: a pooled Monitor plus a fixed
+// frame queue between the submitting goroutine (transport reader) and
+// the shard worker that feeds the pipeline. All state is recycled on
+// detach; the struct is only ever allocated on a pool miss.
+type Session struct {
+	id  string
+	mon *blinkradar.Monitor
+
+	// Frame queue: a flat ring of slots×bins samples. Slot i carries
+	// gaps[i], the frames known lost immediately before it (upstream
+	// sequence gaps plus local backpressure drops), delivered to the
+	// pipeline as NoteGap before the frame is fed so slow-time state is
+	// never silently concatenated across a hole.
+	qmu        sync.Mutex
+	buf        []complex128
+	gaps       []uint64
+	head, n    int
+	slots      int
+	bins       int
+	pendingGap uint64
+
+	// Token bucket (under qmu). Refilled from the manager clock.
+	tokens     float64
+	lastRefill time.Time
+
+	// Backpressure evaluation window (under qmu).
+	winSubmitted, winDropped int
+
+	// pressure and wantWindow cross the submitter→worker boundary:
+	// the submitter decides the level, the worker applies the window
+	// change (the Monitor is not concurrent-safe).
+	pressure   atomic.Int32
+	wantWindow atomic.Uint64 // math.Float64bits of the desired span
+	// appliedWindow is worker-only (guarded by feedMu).
+	appliedWindow float64
+
+	// feedMu is held by the shard worker around each feed batch and by
+	// attach/detach around recycling, so pooled state never changes
+	// hands mid-feed.
+	feedMu sync.Mutex
+
+	// gen increments on every recycle. A submitter captures it at map
+	// lookup and re-checks under qmu, so a Submit racing a Detach can
+	// never push into a recycled (or re-attached) session.
+	gen atomic.Uint64
+
+	// Lifetime accounting, readable from any goroutine.
+	submitted   atomic.Uint64
+	processed   atomic.Uint64
+	dropped     atomic.Uint64
+	limited     atomic.Uint64
+	blinks      atomic.Uint64
+	assessments atomic.Uint64
+	assessErrs  atomic.Uint64
+}
+
+func newSession(bins, slots int, mon *blinkradar.Monitor, windowSec float64) *Session {
+	s := &Session{
+		mon:   mon,
+		buf:   make([]complex128, bins*slots),
+		gaps:  make([]uint64, slots),
+		slots: slots,
+		bins:  bins,
+	}
+	s.appliedWindow = windowSec
+	s.wantWindow.Store(math.Float64bits(windowSec))
+	return s
+}
+
+// push enqueues one frame, or — when the queue is full — drops it and
+// folds it into the gap preceding whatever frame is accepted next.
+// Caller holds qmu.
+//
+//blinkradar:hotpath
+func (s *Session) push(frame []complex128) bool {
+	if s.n == s.slots {
+		s.pendingGap++
+		return false
+	}
+	slot := s.head + s.n
+	if slot >= s.slots {
+		slot -= s.slots
+	}
+	copy(s.buf[slot*s.bins:(slot+1)*s.bins], frame)
+	s.gaps[slot] = s.pendingGap
+	s.pendingGap = 0
+	s.n++
+	return true
+}
+
+// peek returns the oldest queued frame without dequeueing it. The slot
+// stays occupied until commitPop, so a concurrent push can never write
+// over a frame the worker is feeding: push only touches slot head+n
+// with n < slots, which is never head while n ≥ 1.
+//
+//blinkradar:hotpath
+func (s *Session) peek() (frame []complex128, gap uint64, ok bool) {
+	s.qmu.Lock()
+	if s.n == 0 {
+		s.qmu.Unlock()
+		return nil, 0, false
+	}
+	slot := s.head
+	frame = s.buf[slot*s.bins : (slot+1)*s.bins]
+	gap = s.gaps[slot]
+	s.qmu.Unlock()
+	return frame, gap, true
+}
+
+// commitPop frees the slot returned by the last peek.
+//
+//blinkradar:hotpath
+func (s *Session) commitPop() {
+	s.qmu.Lock()
+	s.head++
+	if s.head == s.slots {
+		s.head = 0
+	}
+	s.n--
+	s.qmu.Unlock()
+}
+
+// takeToken refills from the wall clock and spends one token. Caller
+// holds qmu.
+//
+//blinkradar:hotpath
+func (s *Session) takeToken(now time.Time, rate, burst float64) bool {
+	if el := now.Sub(s.lastRefill).Seconds(); el > 0 {
+		s.tokens += el * rate
+		if s.tokens > burst {
+			s.tokens = burst
+		}
+		s.lastRefill = now
+	}
+	if s.tokens >= 1 {
+		s.tokens--
+		return true
+	}
+	return false
+}
+
+// noteSubmit advances the backpressure evaluation window and, at its
+// end, moves the pressure level: up to whatever the drop fraction
+// demands immediately, down one level only after a completely clean
+// window. Returns the level transition, if any. Caller holds qmu.
+//
+//blinkradar:hotpath
+func (s *Session) noteSubmit(accepted bool, evalWindow int, widenFrac, degradeFrac float64) (from, to PressureState, changed bool) {
+	s.winSubmitted++
+	if !accepted {
+		s.winDropped++
+	}
+	if s.winSubmitted < evalWindow {
+		return 0, 0, false
+	}
+	frac := float64(s.winDropped) / float64(s.winSubmitted)
+	s.winSubmitted, s.winDropped = 0, 0
+	cur := PressureState(s.pressure.Load())
+	next := cur
+	switch {
+	case frac >= degradeFrac:
+		next = PressureDegraded
+	case frac >= widenFrac:
+		if next < PressureWidened {
+			next = PressureWidened
+		}
+	case frac == 0:
+		if next > PressureNormal {
+			next--
+		}
+	}
+	if next == cur {
+		return cur, cur, false
+	}
+	s.pressure.Store(int32(next))
+	return cur, next, true
+}
+
+// Pressure returns the session's current backpressure level.
+func (s *Session) Pressure() PressureState {
+	return PressureState(s.pressure.Load())
+}
+
+// queued returns the number of frames waiting for the worker.
+func (s *Session) queued() int {
+	s.qmu.Lock()
+	n := s.n
+	s.qmu.Unlock()
+	return n
+}
+
+// loadWantWindow returns the window span the backpressure controller
+// currently wants applied.
+func (s *Session) loadWantWindow() float64 {
+	return math.Float64frombits(s.wantWindow.Load())
+}
+
+// recycle returns the session to pooled idle state and reports its
+// final accounting. Frames still queued were never fed; they are folded
+// into the dropped count so submitted == processed + dropped holds at
+// detach. Caller holds feedMu and has already removed the session from
+// its shard map, so neither the worker nor a submitter can race this.
+func (s *Session) recycle(windowSec float64) SessionStats {
+	s.qmu.Lock()
+	s.gen.Add(1)
+	s.dropped.Add(uint64(s.n))
+	s.head, s.n = 0, 0
+	s.pendingGap = 0
+	s.tokens = 0
+	s.lastRefill = time.Time{}
+	s.winSubmitted, s.winDropped = 0, 0
+	s.qmu.Unlock()
+
+	stats := s.snapshot()
+	stats.Queued = 0
+
+	s.mon.Reset()
+	s.id = ""
+	s.pressure.Store(int32(PressureNormal))
+	s.wantWindow.Store(math.Float64bits(windowSec))
+	s.appliedWindow = windowSec
+	s.submitted.Store(0)
+	s.processed.Store(0)
+	s.dropped.Store(0)
+	s.limited.Store(0)
+	s.blinks.Store(0)
+	s.assessments.Store(0)
+	s.assessErrs.Store(0)
+	return stats
+}
+
+// snapshot collects the session's accounting without the queue depth.
+func (s *Session) snapshot() SessionStats {
+	st := SessionStats{
+		ID:          s.id,
+		Submitted:   s.submitted.Load(),
+		Processed:   s.processed.Load(),
+		Dropped:     s.dropped.Load(),
+		Limited:     s.limited.Load(),
+		Blinks:      s.blinks.Load(),
+		Assessments: s.assessments.Load(),
+		AssessErrs:  s.assessErrs.Load(),
+		Pressure:    s.Pressure(),
+		WindowSec:   s.loadWantWindow(),
+		Health:      s.mon.Health(),
+	}
+	if st.Pressure == PressureDegraded {
+		st.Health = blinkradar.HealthDegraded
+	}
+	return st
+}
+
+// SessionStats is a point-in-time view of one session's accounting.
+// The invariant Submitted == Processed + Dropped + Queued holds at
+// every instant; rate-limited frames are counted in Limited only and
+// never enter the queue.
+type SessionStats struct {
+	// ID is the session identifier.
+	ID string
+	// Submitted counts frames accepted past the rate limiter.
+	Submitted uint64
+	// Processed counts frames fed through the pipeline.
+	Processed uint64
+	// Dropped counts frames lost to backpressure (queue full, plus
+	// frames still queued at detach).
+	Dropped uint64
+	// Limited counts frames rejected by the token bucket.
+	Limited uint64
+	// Queued is the current queue depth.
+	Queued uint64
+	// Blinks counts blink events the pipeline delivered.
+	Blinks uint64
+	// Assessments counts completed window assessments.
+	Assessments uint64
+	// AssessErrs counts pipeline feed/assessment errors.
+	AssessErrs uint64
+	// Pressure is the backpressure level.
+	Pressure PressureState
+	// WindowSec is the assessment-window span the backpressure
+	// controller currently wants (widened under pressure).
+	WindowSec float64
+	// Health is the detector health, overridden to HealthDegraded when
+	// the session is pressure-degraded.
+	Health blinkradar.HealthState
+}

@@ -81,6 +81,14 @@ type ReconnectConfig struct {
 	// back with another capture or radio config). A non-nil error
 	// aborts Run; consumers typically rebuild their pipeline here.
 	OnHelloChange func(prev, next StreamHello) error
+	// Rand, when non-nil, supplies the backoff jitter, making the
+	// reconnect schedule reproducible — chaos and soak tests seed it so
+	// a failing run can be replayed exactly. Nil (the default) keeps an
+	// entropy-seeded source, which production wants: deterministic
+	// jitter across a fleet defeats its whole purpose. The client
+	// serialises access; the *rand.Rand must not be shared with other
+	// concurrent users.
+	Rand *rand.Rand
 	// Logger receives reconnect diagnostics; nil discards them.
 	Logger *log.Logger
 	// Registry, when non-nil, exports reconnect metrics.
@@ -149,10 +157,14 @@ func NewReconnectingClient(addr string, cfg ReconnectConfig) *ReconnectingClient
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(discard{}, "", 0)
 	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
 	rc := &ReconnectingClient{
 		addr: addr,
 		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:  rng,
 	}
 	if r := cfg.Registry; r != nil {
 		rc.mReconnects = r.Counter("transport_reconnects_total")

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"testing"
@@ -297,5 +298,51 @@ func TestReconnectingClientCallbackErrorStops(t *testing.T) {
 	}
 	if rc.Stats().Reconnects != 0 {
 		t.Fatal("a consumer error must not trigger reconnects")
+	}
+}
+
+// TestJitterDeterministicSeed is the regression test for
+// nondeterministic reconnect schedules: with an injected seeded source
+// two clients produce the identical jittered backoff sequence, so chaos
+// runs that flap hundreds of sessions can be replayed exactly. Before
+// ReconnectConfig.Rand existed, the source was always seeded from the
+// wall clock and no two runs agreed.
+func TestJitterDeterministicSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		rc := NewReconnectingClient("127.0.0.1:0", ReconnectConfig{
+			Backoff: fastBackoff(),
+			Rand:    rand.New(rand.NewSource(seed)),
+		})
+		out := make([]time.Duration, 0, 16)
+		d := rc.cfg.Backoff.Initial
+		for i := 0; i < 16; i++ {
+			out = append(out, rc.jittered(d))
+			d = rc.nextBackoff(d)
+		}
+		return out
+	}
+
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter schedule")
+	}
+
+	// Nil Rand must keep the entropy-seeded default.
+	rc := NewReconnectingClient("127.0.0.1:0", ReconnectConfig{Backoff: fastBackoff()})
+	if rc.rng == nil {
+		t.Fatal("nil ReconnectConfig.Rand left the client without a jitter source")
 	}
 }

@@ -15,8 +15,26 @@ import (
 type Monitor struct {
 	det       *Detector
 	model     *DrowsinessModel
-	windowSec float64
 	frameRate float64
+
+	// Window accounting. Boundaries are tracked as exact wall-clock
+	// seconds (winStart/winEnd), not a truncated frame count: for
+	// non-integer windowSec*frameRate products an integer frame window
+	// both shortens every window and drifts its boundary away from the
+	// wall clock while BlinkRate still divides by windowSec. Frames only
+	// *trigger* assessment, once their timeline passes the boundary.
+	baseWindowSec    float64 // as-constructed span, restored by Reset
+	windowSec        float64 // span of the window currently open
+	pendingWindowSec float64 // takes effect at the next boundary; 0 = none
+	winStart         float64 // start of the open window, seconds
+	winEnd           float64 // end of the open window, seconds
+	// lagSec defers each window's assessment past its end by the
+	// detector's delivery lag: LEVD stamps events in the past (smoother
+	// group delay, refractory hold), so a blink delivered just after a
+	// boundary can carry Time < winStart of the new window. Assessing
+	// only once every event for the window must have been delivered
+	// lands each event in exactly one window.
+	lagSec float64
 
 	vitals    *vitals.Monitor
 	vitalsBin int
@@ -67,13 +85,48 @@ func NewMonitor(cfg Config, numBins int, frameRate, windowSec float64, opts ...O
 		return nil, err
 	}
 	return &Monitor{
-		det:       det,
-		model:     &DrowsinessModel{},
-		windowSec: windowSec,
-		frameRate: frameRate,
-		vitals:    vm,
-		vitalsBin: -1,
+		det:           det,
+		model:         &DrowsinessModel{},
+		baseWindowSec: windowSec,
+		windowSec:     windowSec,
+		winEnd:        windowSec,
+		lagSec:        det.DeliveryLagSec(),
+		frameRate:     frameRate,
+		vitals:        vm,
+		vitalsBin:     -1,
 	}, nil
+}
+
+// WindowSec returns the span of the assessment window currently open.
+func (m *Monitor) WindowSec() float64 { return m.windowSec }
+
+// SetWindowSec schedules a new assessment-window span. It takes effect
+// at the next window boundary, so the accounting of the window already
+// open stays exact. The fleet layer uses it to widen windows when
+// backpressure thins a session's frame stream: a wider window keeps
+// enough blinks for the rate feature to stay meaningful.
+func (m *Monitor) SetWindowSec(sec float64) error {
+	if sec <= 0 {
+		return fmt.Errorf("blinkradar: window must be positive, got %g", sec)
+	}
+	m.pendingWindowSec = sec
+	return nil
+}
+
+// Reset returns the monitor to its just-constructed state without
+// allocating, so a session pool can recycle monitors across stream
+// churn. The per-driver drowsiness calibration is cleared too: recycled
+// state serves a different driver.
+func (m *Monitor) Reset() {
+	m.det.Reset()
+	m.vitals.Reset()
+	m.vitalsBin = -1
+	m.events = m.events[:0]
+	m.frame = 0
+	m.windowSec = m.baseWindowSec
+	m.pendingWindowSec = 0
+	m.winStart, m.winEnd = 0, m.baseWindowSec
+	*m.model = DrowsinessModel{}
 }
 
 // SetRegistry attaches an observability registry to the monitor and
@@ -101,14 +154,14 @@ func (m *Monitor) Calibrate(awake, drowsy []WindowFeatures) error {
 func (m *Monitor) Calibrated() bool { return m.model.Trained() }
 
 // Feed consumes one radar frame. It returns a detected blink (ok true)
-// and, at each window boundary, a non-nil Assessment.
+// and, once each completed window's delivery lag has expired, a non-nil
+// Assessment. When the assessment fails (a calibration-model error) the
+// detected blink — already recorded — is still returned alongside the
+// error rather than swallowed.
 func (m *Monitor) Feed(frame []complex128) (ev BlinkEvent, ok bool, assessment *Assessment, err error) {
 	ev, ok, err = m.det.Feed(frame)
 	if err != nil {
 		return BlinkEvent{}, false, nil, err
-	}
-	if ok {
-		m.events = append(m.events, ev)
 	}
 	// Feed the vital-sign estimator from the tracked bin; a bin change
 	// invalidates its window.
@@ -119,22 +172,56 @@ func (m *Monitor) Feed(frame []complex128) (ev BlinkEvent, ok bool, assessment *
 		}
 		m.vitals.Push(z)
 	}
+	return m.ingest(ev, ok)
+}
+
+// ingest records one delivered detection result and advances the window
+// clock by one frame. It is the whole of Feed's accounting, split out so
+// the window semantics can be driven directly by tests.
+func (m *Monitor) ingest(ev BlinkEvent, ok bool) (BlinkEvent, bool, *Assessment, error) {
+	if ok {
+		e := ev
+		if e.Time < m.winStart {
+			// Delivered later than the detector's documented lag bound
+			// (pathological sustained ringing): its window is already
+			// closed. Clamp it into the open window so it is counted
+			// exactly once rather than in no window at all.
+			e.Time = m.winStart
+		}
+		m.events = append(m.events, e)
+	}
 	m.frame++
-	windowFrames := int(m.windowSec * m.frameRate)
-	if windowFrames > 0 && m.frame%windowFrames == 0 {
+	var assessment *Assessment
+	for m.windowComplete(ev, ok) {
 		a, aerr := m.assess()
 		if aerr != nil {
-			return BlinkEvent{}, false, nil, aerr
+			return ev, ok, assessment, aerr
 		}
 		assessment = &a
 	}
 	return ev, ok, assessment, nil
 }
 
-// assess summarises the just-completed window.
+// windowComplete reports whether every event belonging to the open
+// window must have been delivered, so it can be assessed. That holds
+// once the frame clock passes the boundary by the detector's delivery
+// lag — or earlier, as soon as an event stamped past the boundary
+// arrives: LEVD emits events in stamped order, so nothing earlier is
+// still pending.
+func (m *Monitor) windowComplete(ev BlinkEvent, ok bool) bool {
+	if ok && ev.Time >= m.winEnd {
+		return true
+	}
+	return float64(m.frame)/m.frameRate-m.lagSec >= m.winEnd
+}
+
+// assess summarises the completed window [winStart, winEnd) and opens
+// the next one. The rate divides by the window's actual span, so it
+// stays a true blinks-per-minute whatever span a pending SetWindowSec
+// gave this window.
 func (m *Monitor) assess() (Assessment, error) {
-	end := float64(m.frame) / m.frameRate
-	start := end - m.windowSec
+	start, end := m.winStart, m.winEnd
+	span := end - start
 	var count int
 	var durSum float64
 	for _, e := range m.events {
@@ -143,7 +230,7 @@ func (m *Monitor) assess() (Assessment, error) {
 			durSum += e.Duration
 		}
 	}
-	f := WindowFeatures{BlinkRate: float64(count) / m.windowSec * 60}
+	f := WindowFeatures{BlinkRate: float64(count) / span * 60}
 	if count > 0 {
 		f.MeanBlinkDuration = durSum / float64(count)
 	}
@@ -165,8 +252,18 @@ func (m *Monitor) assess() (Assessment, error) {
 		m.mDrowsy.Inc()
 	}
 	m.gBlinkRate.Set(f.BlinkRate)
-	// Trim events that can no longer affect any window.
-	cutoff := end - 2*m.windowSec
+	// Open the next window, applying any pending span change at the
+	// boundary so the accounting of the window just closed stayed exact.
+	m.winStart = end
+	if m.pendingWindowSec > 0 {
+		m.windowSec = m.pendingWindowSec
+		m.pendingWindowSec = 0
+	}
+	m.winEnd = end + m.windowSec
+	// Trim events that can no longer affect any window (everything
+	// before the just-closed window is history; keep roughly one span
+	// of it for the Events accessor).
+	cutoff := end - 2*span
 	trimmed := m.events[:0]
 	for _, e := range m.events {
 		if e.Time >= cutoff {

@@ -1,0 +1,280 @@
+package blinkradar
+
+import (
+	"math"
+	"testing"
+)
+
+// windowTestMonitor builds a monitor with a short window at a
+// controllable frame rate for white-box window-accounting tests.
+func windowTestMonitor(t *testing.T, frameRate, windowSec float64) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(DefaultConfig(), 16, frameRate, windowSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// ingestEmpty advances the monitor's window clock by n event-free
+// frames, collecting any assessments produced along the way.
+func ingestEmpty(t *testing.T, m *Monitor, n int) []Assessment {
+	t.Helper()
+	var out []Assessment
+	for i := 0; i < n; i++ {
+		_, _, a, err := m.ingest(BlinkEvent{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != nil {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// blinksIn converts an assessment back to its window's blink count.
+func blinksIn(a Assessment, span float64) int {
+	return int(math.Round(a.Features.BlinkRate * span / 60))
+}
+
+// TestBoundaryBlinkCountedExactlyOnce is the regression test for the
+// lost-boundary-blink bug: LEVD stamps events in the past (smoother
+// group delay + refractory hold), so a blink delivered just after a
+// window boundary carries Time < start of the new window. The old
+// frame-modulo assessment had already closed the previous window, so
+// the event was counted in no window at all. With lag-deferred
+// assessment it lands in exactly one.
+func TestBoundaryBlinkCountedExactlyOnce(t *testing.T) {
+	const fps, windowSec = 10.0, 2.0
+	m := windowTestMonitor(t, fps, windowSec)
+
+	// 21 event-free frames: the frame clock is at 2.1 s, past the
+	// 2.0 s boundary. With the old accounting the first window has
+	// already been assessed.
+	assessments := ingestEmpty(t, m, 21)
+
+	// A blink detected around the boundary is delivered now, stamped
+	// 1.95 s — inside the *first* window.
+	_, ok, a, err := m.ingest(BlinkEvent{Time: 1.95, Duration: 0.2, Amplitude: 1, Confidence: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ingest dropped the delivered event")
+	}
+	if a != nil {
+		assessments = append(assessments, *a)
+	}
+
+	// Run well past both windows plus the delivery lag.
+	assessments = append(assessments, ingestEmpty(t, m, 100)...)
+
+	if len(assessments) < 2 {
+		t.Fatalf("got %d assessments, want at least 2", len(assessments))
+	}
+	total := 0
+	for _, a := range assessments {
+		total += blinksIn(a, windowSec)
+	}
+	if total != 1 {
+		t.Fatalf("boundary blink counted %d times across all windows, want exactly 1", total)
+	}
+	if got := blinksIn(assessments[0], windowSec); got != 1 {
+		t.Fatalf("first window [0,2) counted %d blinks, want 1 (event stamped 1.95 s)", got)
+	}
+}
+
+// TestLateEventClampedIntoOpenWindow covers the pathological case of an
+// event delivered later than the documented lag bound: it is clamped
+// into the open window rather than silently landing in a closed one.
+func TestLateEventClampedIntoOpenWindow(t *testing.T) {
+	const fps, windowSec = 10.0, 2.0
+	m := windowTestMonitor(t, fps, windowSec)
+
+	// Advance far enough that window [0,2) is closed.
+	assessments := ingestEmpty(t, m, 60)
+	// Deliver an event stamped inside the long-closed first window.
+	_, _, a, err := m.ingest(BlinkEvent{Time: 0.5, Duration: 0.2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		assessments = append(assessments, *a)
+	}
+	assessments = append(assessments, ingestEmpty(t, m, 100)...)
+
+	total := 0
+	for _, a := range assessments {
+		total += blinksIn(a, windowSec)
+	}
+	if total != 1 {
+		t.Fatalf("late event counted %d times, want exactly once (clamped into the open window)", total)
+	}
+}
+
+// TestWindowBoundariesExactAtNonIntegerRate is the regression test for
+// the window-boundary drift bug: with windowSec*frameRate non-integer
+// (60 s at 14.925 fps in the field), the old truncated frame window
+// shortened every window and drifted the boundaries away from the wall
+// clock while BlinkRate still divided by windowSec. Boundaries must sit
+// on exact multiples of windowSec. This one drives the public Feed API.
+func TestWindowBoundariesExactAtNonIntegerRate(t *testing.T) {
+	const fps, windowSec = 14.925, 4.0
+	m := windowTestMonitor(t, fps, windowSec)
+	frame := make([]complex128, 16)
+
+	var ends []float64
+	nFrames := 30 * 15 // ~30 s of frames
+	for i := 0; i < nFrames; i++ {
+		_, _, a, err := m.Feed(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != nil {
+			ends = append(ends, a.WindowEnd)
+		}
+	}
+	if len(ends) < 5 {
+		t.Fatalf("got %d assessments over 30 s with 4 s windows, want at least 5", len(ends))
+	}
+	for i, end := range ends {
+		want := float64(i+1) * windowSec
+		if math.Abs(end-want) > 1e-9 {
+			t.Fatalf("window %d ends at %.6f s, want exactly %.6f s (boundary drift)", i, end, want)
+		}
+	}
+}
+
+// TestAssessErrorStillReturnsBlink is the regression test for the
+// swallowed-blink bug: when the window assessment fails, the blink that
+// was detected on the same frame — and already recorded — must still be
+// returned to the caller alongside the error.
+func TestAssessErrorStillReturnsBlink(t *testing.T) {
+	const fps, windowSec = 10.0, 2.0
+	m := windowTestMonitor(t, fps, windowSec)
+	awake := []WindowFeatures{{BlinkRate: 10, MeanBlinkDuration: 0.2}, {BlinkRate: 12, MeanBlinkDuration: 0.22}}
+	drowsy := []WindowFeatures{{BlinkRate: 28, MeanBlinkDuration: 0.4}, {BlinkRate: 30, MeanBlinkDuration: 0.45}}
+	if err := m.Calibrate(awake, drowsy); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the first window: a NaN duration makes its features
+	// non-finite, so Classify fails when the window is assessed.
+	if _, _, _, err := m.ingest(BlinkEvent{Time: 0.1, Duration: math.NaN()}, true); err != nil {
+		t.Fatal(err)
+	}
+	ingestEmpty(t, m, 30)
+
+	// This delivery both carries a fresh blink and completes the
+	// poisoned window (its stamp is past the boundary).
+	in := BlinkEvent{Time: 3.1, Duration: 0.2, Amplitude: 1, Confidence: 2}
+	ev, ok, _, err := m.ingest(in, true)
+	if err == nil {
+		t.Fatal("assessment of the poisoned window did not fail")
+	}
+	if !ok {
+		t.Fatal("assess error swallowed the detected blink (ok=false)")
+	}
+	if ev != in {
+		t.Fatalf("assess error returned blink %+v, want %+v", ev, in)
+	}
+}
+
+// TestSetWindowSecAppliesAtBoundary verifies widening takes effect only
+// at the next boundary and that BlinkRate normalises by the actual span
+// of the widened window.
+func TestSetWindowSecAppliesAtBoundary(t *testing.T) {
+	const fps, windowSec = 10.0, 2.0
+	m := windowTestMonitor(t, fps, windowSec)
+	if err := m.SetWindowSec(4.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WindowSec(); got != 2.0 {
+		t.Fatalf("window widened mid-window: got %g, want 2 until the boundary", got)
+	}
+
+	var assessments []Assessment
+	collect := func(n int) { assessments = append(assessments, ingestEmpty(t, m, n)...) }
+	collect(41) // closes [0,2)
+	if len(assessments) != 1 || assessments[0].WindowEnd != 2.0 {
+		t.Fatalf("first assessment %+v, want WindowEnd=2", assessments)
+	}
+	if got := m.WindowSec(); got != 4.0 {
+		t.Fatalf("pending window span not applied at boundary: got %g, want 4", got)
+	}
+
+	// Two blinks inside the widened window [2,6): rate must divide by
+	// the actual 4 s span -> 30 blinks/min.
+	if _, _, _, err := m.ingest(BlinkEvent{Time: 3.0, Duration: 0.2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := m.ingest(BlinkEvent{Time: 4.5, Duration: 0.2}, true); err != nil {
+		t.Fatal(err)
+	}
+	collect(60)
+	if len(assessments) < 2 {
+		t.Fatalf("widened window never assessed: %+v", assessments)
+	}
+	second := assessments[1]
+	if second.WindowEnd != 6.0 {
+		t.Fatalf("widened window ends at %g, want 6", second.WindowEnd)
+	}
+	if math.Abs(second.Features.BlinkRate-30) > 1e-9 {
+		t.Fatalf("widened window rate %.3f blinks/min, want 30 (2 blinks / 4 s)", second.Features.BlinkRate)
+	}
+}
+
+// TestMonitorResetRecyclesCleanly verifies the pool-recycling contract:
+// Reset returns the monitor to its as-constructed state and performs no
+// allocations.
+func TestMonitorResetRecyclesCleanly(t *testing.T) {
+	const fps, windowSec = 10.0, 2.0
+	m := windowTestMonitor(t, fps, windowSec)
+	if err := m.Calibrate(
+		[]WindowFeatures{{BlinkRate: 10, MeanBlinkDuration: 0.2}, {BlinkRate: 12, MeanBlinkDuration: 0.25}},
+		[]WindowFeatures{{BlinkRate: 28, MeanBlinkDuration: 0.4}, {BlinkRate: 30, MeanBlinkDuration: 0.5}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetWindowSec(8); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]complex128, 16)
+	for i := 0; i < 100; i++ {
+		if _, _, _, err := m.Feed(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := m.ingest(BlinkEvent{Time: 5, Duration: 0.2}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Reset()
+	if m.det.Frame() != 0 {
+		t.Fatalf("detector frame count %d after Reset, want 0", m.det.Frame())
+	}
+	if len(m.Events()) != 0 {
+		t.Fatal("events survived Reset")
+	}
+	if m.Calibrated() {
+		t.Fatal("calibration survived Reset; recycled state serves a different driver")
+	}
+	if got := m.WindowSec(); got != windowSec {
+		t.Fatalf("window span %g after Reset, want %g", got, windowSec)
+	}
+	if m.winStart != 0 || m.winEnd != windowSec {
+		t.Fatalf("window boundaries [%g,%g) after Reset, want [0,%g)", m.winStart, m.winEnd, windowSec)
+	}
+
+	// Warm once (vitals/detector internal growth), then Reset must be
+	// allocation-free: the pool calls it on every session attach.
+	for i := 0; i < 200; i++ {
+		if _, _, _, err := m.Feed(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, m.Reset); allocs > 0 {
+		t.Fatalf("Monitor.Reset allocates %.0f times per call, want 0", allocs)
+	}
+}
