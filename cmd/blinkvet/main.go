@@ -1,34 +1,54 @@
 // Command blinkvet runs the repo's project-specific static analyzers —
-// the machine-checked form of the invariants the hot-path refactor
-// established. It is wired into CI next to build/vet/test; run it
-// locally with:
+// the machine-checked form of the invariants the hot-path refactor and
+// the fleet layer established. It is wired into CI next to
+// build/vet/test; run it locally with:
 //
 //	go run ./cmd/blinkvet ./...
 //
 // Analyzers:
 //
-//	hotpathalloc   //blinkradar:hotpath functions must not allocate
+//	hotpathalloc   //blinkradar:hotpath functions must not allocate or
+//	               block, directly or through any statically resolvable
+//	               callee (call-graph facts)
 //	intocontract   exported ...Into APIs must guard dst/src aliasing
 //	goroutineleak  goroutines must be joined or cancellable
 //	metrichygiene  obs metrics registered once, constant names
+//	shardconfine   //blinkradar:confined fields only reachable from
+//	               their domain's //blinkradar:entry functions
+//	atomicfield    fields touched via sync/atomic, or declared atomic.*,
+//	               must never be plainly read or written
+//	timeunit       //blinkradar:unit quantities (frames, seconds, bins)
+//	               cross only through the frame-rate helpers
+//	ignorehygiene  suppressions must name analyzers and carry a reason
 //
 // A finding is waived with a trailing or preceding line comment:
 //
-//	//blinkvet:ignore <analyzer>[,<analyzer>...] [reason]
+//	//blinkvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// With -json, findings are emitted as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout (machine
+// consumers, editor integrations); the default output is the
+// file:line:col: analyzer: message lines the CI problem matcher parses.
 //
 // Exit status: 0 clean, 1 findings or type errors, 2 usage/load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"blinkradar/internal/analysis"
+	"blinkradar/internal/analysis/atomicfield"
 	"blinkradar/internal/analysis/goroutineleak"
 	"blinkradar/internal/analysis/hotpathalloc"
+	"blinkradar/internal/analysis/ignorehygiene"
 	"blinkradar/internal/analysis/intocontract"
 	"blinkradar/internal/analysis/metrichygiene"
+	"blinkradar/internal/analysis/shardconfine"
+	"blinkradar/internal/analysis/timeunit"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -36,12 +56,23 @@ var analyzers = []*analysis.Analyzer{
 	intocontract.Analyzer,
 	goroutineleak.Analyzer,
 	metrichygiene.Analyzer,
+	shardconfine.Analyzer,
+	atomicfield.Analyzer,
+	timeunit.Analyzer,
+	ignorehygiene.Analyzer,
+}
+
+func init() {
+	for _, a := range analyzers {
+		ignorehygiene.Known[a.Name] = true
+	}
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: blinkvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: blinkvet [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the blinkradar analyzer suite over the packages (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -52,35 +83,71 @@ func main() {
 		}
 		return
 	}
-	os.Exit(run(flag.Args()))
-}
-
-func run(patterns []string) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blinkvet:", err)
-		return 2
+		os.Exit(2)
 	}
-	pkgs, err := analysis.Load(cwd, patterns...)
+	os.Exit(vet(cwd, flag.Args(), *jsonOut, os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json wire shape of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// vet loads the patterns relative to dir, runs the suite with shared
+// facts, writes findings to stdout (human or JSON) and errors to
+// stderr, and returns the process exit status.
+func vet(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "blinkvet:", err)
+		fmt.Fprintln(stderr, "blinkvet:", err)
 		return 2
 	}
 	status := 0
+	facts := analysis.ComputeFacts(pkgs)
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "blinkvet: %s: type error: %v\n", pkg.ImportPath, terr)
+			fmt.Fprintf(stderr, "blinkvet: %s: type error: %v\n", pkg.ImportPath, terr)
 			status = 1
 		}
-		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		diags, err := analysis.RunAnalyzersFacts(pkg, facts, analyzers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "blinkvet:", err)
+			fmt.Fprintln(stderr, "blinkvet:", err)
 			return 2
 		}
-		for _, d := range diags {
-			fmt.Println(d)
-			status = 1
+		all = append(all, diags...)
+	}
+	if len(all) > 0 {
+		status = 1
+	}
+	if jsonOut {
+		out := make([]jsonDiag, len(all))
+		for i, d := range all {
+			out[i] = jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
 		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "blinkvet:", err)
+			return 2
+		}
+		return status
+	}
+	for _, d := range all {
+		fmt.Fprintln(stdout, d)
 	}
 	return status
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot locates the module root relative to this source file so the
+// tree-wide vet run works regardless of the test working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestTreeClean is the regression gate the CI lint job relies on: the
+// whole repository must stay clean under every analyzer in the suite.
+// A failure here means a new finding (fix it or waive it with a
+// reasoned //blinkvet:ignore), never a reason to drop the analyzer.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	if status := vet(repoRoot(t), []string{"./..."}, false, &stdout, &stderr); status != 0 {
+		t.Fatalf("blinkvet ./... exited %d\nstdout:\n%s\nstderr:\n%s", status, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("unexpected findings:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput pins the -json wire shape on a package with a known
+// clean result: a valid (possibly empty) JSON array, never null.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks packages")
+	}
+	var stdout, stderr bytes.Buffer
+	status := vet(repoRoot(t), []string{"blinkradar/internal/dsp"}, true, &stdout, &stderr)
+	if status != 0 {
+		t.Fatalf("vet exited %d, stderr:\n%s", status, stderr.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected a clean package, got %d findings", len(diags))
+	}
+	if trimmed := bytes.TrimSpace(stdout.Bytes()); len(trimmed) == 0 || trimmed[0] != '[' {
+		t.Fatalf("JSON output must be an array, got: %q", trimmed)
+	}
+}
+
+// TestListedAnalyzers pins the suite composition: the eight analyzers
+// the documentation promises, in the order they run.
+func TestListedAnalyzers(t *testing.T) {
+	want := []string{
+		"hotpathalloc", "intocontract", "goroutineleak", "metrichygiene",
+		"shardconfine", "atomicfield", "timeunit", "ignorehygiene",
+	}
+	if len(analyzers) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(analyzers), len(want))
+	}
+	for i, a := range analyzers {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+	}
+}

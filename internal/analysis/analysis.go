@@ -8,12 +8,17 @@
 // go/ast + go/types.
 //
 // Analyzers inspect one type-checked package at a time through a Pass
-// and report findings as Diagnostics. Findings are suppressed by a
-// trailing or preceding line comment of the form
+// and report findings as Diagnostics. Cross-function knowledge — the
+// call graph and the allocates/blocks/spawns fact sets computed by
+// ComputeFacts over the whole loaded package set — arrives on the Pass
+// as Facts. Findings are suppressed by a trailing or preceding line
+// comment of the form
 //
-//	//blinkvet:ignore <analyzer>[,<analyzer>...] [reason]
+//	//blinkvet:ignore <analyzer>[,<analyzer>...] -- <reason>
 //
 // which the driver (and the analysistest harness) honour uniformly.
+// The reason after " -- " is mandatory; the ignorehygiene analyzer
+// flags suppressions without one.
 package analysis
 
 import (
@@ -37,13 +42,17 @@ type Analyzer struct {
 }
 
 // Pass carries one package's parsed and type-checked state to an
-// analyzer's Run function.
+// analyzer's Run function, plus the suite-wide Facts.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts holds the call-graph fact sets and annotation registry
+	// computed over every loaded package. Never nil under the standard
+	// drivers; analyzers should still tolerate an empty Facts.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -70,8 +79,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // RunAnalyzers applies every analyzer to the package and returns the
 // findings with //blinkvet:ignore suppressions already filtered out,
-// sorted by position.
+// sorted by position. Facts are computed over the single package; use
+// ComputeFacts + RunAnalyzersFacts when analyzing a multi-package set
+// so cross-package call chains resolve.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(pkg, ComputeFacts([]*Package{pkg}), analyzers)
+}
+
+// RunAnalyzersFacts is RunAnalyzers with externally computed Facts,
+// shared across the packages of one load.
+func RunAnalyzersFacts(pkg *Package, facts *Facts, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -80,6 +97,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -100,8 +118,39 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// ignorePrefix marks a suppression comment.
-const ignorePrefix = "//blinkvet:ignore"
+// IgnorePrefix marks a suppression comment.
+const IgnorePrefix = "//blinkvet:ignore"
+
+// ParseIgnore splits a comment's text into the suppressed analyzer
+// names and the mandatory " -- " reason. ok is false when the comment
+// is not a suppression at all. A suppression without a reason still
+// suppresses (so a stale waiver never un-silences old findings during
+// a cleanup) but is itself flagged by the ignorehygiene analyzer.
+func ParseIgnore(text string) (names []string, reason string, hasReason bool, ok bool) {
+	rest, ok := strings.CutPrefix(text, IgnorePrefix)
+	if !ok {
+		return nil, "", false, false
+	}
+	if i := strings.Index(rest, " -- "); i >= 0 {
+		reason = strings.TrimSpace(rest[i+4:])
+		hasReason = reason != ""
+		rest = rest[:i]
+	}
+	// A nested // starts an ordinary comment (fixture want-markers,
+	// trailing notes); it is not part of the analyzer list.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 0 {
+		for _, name := range strings.Split(fields[0], ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+	return names, reason, hasReason, true
+}
 
 // suppressionsByLine maps file:line to the set of analyzer names
 // suppressed there. A suppression on line N waives findings on line N
@@ -111,20 +160,12 @@ func suppressionsByLine(fset *token.FileSet, files []*ast.File) map[string]map[s
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				names, _, _, ok := ParseIgnore(c.Text)
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
 				pos := fset.Position(c.Pos())
-				for _, name := range strings.Split(fields[0], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
+				for _, name := range names {
 					for _, line := range []int{pos.Line, pos.Line + 1} {
 						key := fmt.Sprintf("%s:%d", pos.Filename, line)
 						if out[key] == nil {

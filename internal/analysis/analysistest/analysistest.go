@@ -13,7 +13,20 @@
 // the message of a distinct diagnostic reported on that line. Lines
 // with no want comment must produce no diagnostics. Fixture imports
 // resolve against the standard library and against sibling fixture
-// packages in the same src tree.
+// packages in the same src tree; facts are computed over the whole
+// loaded set, so cross-package call chains resolve exactly as under
+// the real driver.
+//
+// A function declaration line may additionally assert its propagated
+// fact set:
+//
+//	func helper() []int { // want:fact allocates
+//	func pure(x int) int { // want:fact !allocates !blocks
+//
+// Each bare name must be present in the function's suite-wide fact
+// set; a !-prefixed name must be absent. Fact assertions are checked
+// in every package of the fixture's import closure, so a dependency
+// package can pin the facts the target package's diagnostics rely on.
 package analysistest
 
 import (
@@ -29,6 +42,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,18 +59,22 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Helper()
-			pkg, err := loadFixture(testdata, name)
+			pkg, all, err := loadFixture(testdata, name)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if len(pkg.TypeErrors) != 0 {
 				t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors)
 			}
-			diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+			facts := analysis.ComputeFacts(all)
+			diags, err := analysis.RunAnalyzersFacts(pkg, facts, []*analysis.Analyzer{a})
 			if err != nil {
 				t.Fatal(err)
 			}
 			checkExpectations(t, pkg, diags)
+			for _, p := range all {
+				checkFactExpectations(t, p, facts)
+			}
 		})
 	}
 }
@@ -116,6 +134,56 @@ func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Dia
 	}
 }
 
+var wantFactRe = regexp.MustCompile(`// want:fact (.*)$`)
+
+// checkFactExpectations verifies // want:fact comments against the
+// propagated fact sets. Each comment must share a line with a function
+// declaration's name; bare fact names assert presence, !-prefixed
+// names assert absence.
+func checkFactExpectations(t *testing.T, pkg *analysis.Package, facts *analysis.Facts) {
+	t.Helper()
+	for _, f := range pkg.Files {
+		// Index function declarations by the line their name sits on.
+		fnAt := make(map[int]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				fnAt[pkg.Fset.Position(fd.Name.Pos()).Line] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantFactRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fd := fnAt[pos.Line]
+				if fd == nil {
+					t.Errorf("%s: want:fact comment is not on a function declaration line", pos)
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					t.Errorf("%s: cannot resolve function %s", pos, fd.Name.Name)
+					continue
+				}
+				got := facts.Of(fn)
+				for _, tok := range strings.Fields(m[1]) {
+					name, negate := strings.CutPrefix(tok, "!")
+					bit, ok := analysis.ParseFact(name)
+					if !ok {
+						t.Errorf("%s: unknown fact %q", pos, name)
+						continue
+					}
+					if has := got.Has(bit); has == negate {
+						t.Errorf("%s: %s: facts are %q, want %s=%v", pos, fd.Name.Name, got, name, !negate)
+					}
+				}
+			}
+		}
+	}
+}
+
 // splitQuoted extracts the double-quoted Go string literals of a want
 // comment's payload.
 func splitQuoted(s string) []string {
@@ -146,8 +214,10 @@ func splitQuoted(s string) []string {
 	}
 }
 
-// loadFixture parses and type-checks one fixture package.
-func loadFixture(testdata, name string) (*analysis.Package, error) {
+// loadFixture parses and type-checks one fixture package. It returns
+// the target package and every fixture package pulled in through its
+// imports (target included), for suite-wide fact computation.
+func loadFixture(testdata, name string) (*analysis.Package, []*analysis.Package, error) {
 	imp := &fixtureImporter{
 		src:  filepath.Join(testdata, "src"),
 		fset: token.NewFileSet(),
@@ -155,9 +225,18 @@ func loadFixture(testdata, name string) (*analysis.Package, error) {
 	}
 	fp, err := imp.load(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return fp.pkg, nil
+	paths := make([]string, 0, len(imp.pkgs))
+	for path := range imp.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	all := make([]*analysis.Package, 0, len(paths))
+	for _, path := range paths {
+		all = append(all, imp.pkgs[path].pkg)
+	}
+	return fp.pkg, all, nil
 }
 
 type fixturePkg struct {

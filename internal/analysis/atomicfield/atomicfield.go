@@ -1,0 +1,163 @@
+// Package atomicfield flags mixed atomic/plain access to struct
+// fields — the race class go vet does not catch. Two rules, both
+// per package:
+//
+//  1. A plain-typed field that is ever passed by address to a
+//     sync/atomic function (atomic.AddUint64(&s.gen, 1)) is an atomic
+//     field everywhere: any other plain read or write of it races with
+//     the atomic accesses. This is the pre-PR-6 shape of the
+//     Submit-vs-recycle generation counter bug.
+//  2. A field declared with one of the typed atomics (atomic.Int32,
+//     atomic.Uint64, ...) may only be touched through its methods or
+//     by taking its address (which preserves the atomic-only API);
+//     copying or reassigning the value reads and writes the underlying
+//     word non-atomically.
+//
+// Seed sites in this repo: session.Session's generation and accounting
+// counters, core.Detector.health, and the internal/obs metric types.
+// A deliberate exception is waived with
+// //blinkvet:ignore atomicfield -- <why>.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"blinkradar/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid plain reads/writes of fields that are accessed atomically or declared atomic.*",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Fields declared with a typed atomic.
+	typed := make(map[*types.Var]bool)
+	for _, obj := range info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.IsField() && isAtomicType(v.Type()) {
+			typed[v] = true
+		}
+	}
+
+	// Fields whose address is passed to a sync/atomic function, plus
+	// the selector nodes sanctioned by appearing in such a call.
+	atomicUsed := make(map[*types.Var]token.Position)
+	sanctioned := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				v := fieldOf(info, sel)
+				if v == nil {
+					continue
+				}
+				sanctioned[sel.Pos()] = true
+				if _, seen := atomicUsed[v]; !seen {
+					atomicUsed[v] = pass.Fset.Position(un.Pos())
+				}
+			}
+			return true
+		})
+	}
+
+	// Flag every unsanctioned use.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldOf(info, sel)
+			if v == nil {
+				return true
+			}
+			parent := parentOf(stack)
+			if pos, ok := atomicUsed[v]; ok && !sanctioned[sel.Pos()] {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed with sync/atomic at %s; this plain access races with it — use sync/atomic everywhere",
+					v.Name(), pos)
+				return true
+			}
+			if typed[v] && !typedUseOK(parent) {
+				pass.Reportf(sel.Sel.Pos(),
+					"atomic field %s is copied or reassigned as a plain value; use its Load/Store/Add methods",
+					v.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it reads, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// typedUseOK reports whether the parent node of an atomic.*-typed
+// field selector keeps access inside the atomic API: a further
+// selection (method call or method value) or an address-of.
+func typedUseOK(parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// parentOf returns the node enclosing the top of the stack (the stack
+// ends with the current node itself).
+func parentOf(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed
+// wrappers (atomic.Int32, atomic.Uint64, atomic.Bool, atomic.Pointer,
+// ...). atomic.Value counts too.
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "atomicmix")
+}

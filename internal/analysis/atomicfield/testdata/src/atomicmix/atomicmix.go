@@ -1,0 +1,66 @@
+// Package atomicmix reproduces the pre-PR-6 shape of the
+// Submit-vs-recycle generation-counter race: a plain uint64 field
+// incremented through sync/atomic in one place and read bare in
+// another, plus misuse of the typed atomics.
+package atomicmix
+
+import "sync/atomic"
+
+type session struct {
+	gen    uint64
+	epoch  uint64
+	health atomic.Int32
+	slots  int
+}
+
+// recycle bumps the generation atomically — this is the access that
+// makes gen an atomic field everywhere.
+func recycle(s *session) {
+	atomic.AddUint64(&s.gen, 1)
+	s.slots = 0
+}
+
+// submit is the racing half: the bare read go vet never flags.
+func submit(s *session) bool {
+	return s.gen&1 == 0 // want "field gen is accessed with sync/atomic at .*atomicmix.go:\\d+:\\d+; this plain access races with it"
+}
+
+// reset writes it bare, racing the same way.
+func reset(s *session) {
+	s.gen = 0 // want "field gen is accessed with sync/atomic"
+}
+
+// loadGen stays inside the atomic API: no finding.
+func loadGen(s *session) uint64 {
+	return atomic.LoadUint64(&s.gen)
+}
+
+// epoch is never touched atomically, so plain access is fine.
+func bump(s *session) {
+	s.epoch++
+}
+
+// typed-atomic rules: method calls and address-of keep the atomic API;
+// value copies and reassignment do not.
+func probe(s *session) int32 {
+	return s.health.Load()
+}
+
+func probePtr(s *session) *atomic.Int32 {
+	return &s.health
+}
+
+func snapshot(s *session) atomic.Int32 {
+	return s.health // want "atomic field health is copied or reassigned as a plain value"
+}
+
+func clobber(s *session, v atomic.Int32) {
+	s.health = v // want "atomic field health is copied or reassigned as a plain value"
+}
+
+// waived documents a deliberate pre-publication bare write.
+func fresh() *session {
+	s := &session{}
+	s.gen = 0 //blinkvet:ignore atomicfield -- not yet published, no concurrent readers
+	return s
+}

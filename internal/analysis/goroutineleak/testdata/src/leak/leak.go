@@ -92,6 +92,6 @@ func NamedWithWaitGroup(wg *sync.WaitGroup) {
 
 // Waived is a deliberately detached goroutine.
 func Waived() {
-	//blinkvet:ignore goroutineleak fire-and-forget diagnostics flush
+	//blinkvet:ignore goroutineleak -- fire-and-forget diagnostics flush
 	go worker(1)
 }

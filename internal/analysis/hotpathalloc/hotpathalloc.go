@@ -17,12 +17,16 @@
 //   - explicit conversions to interface types and implicit boxing into
 //     variadic ...interface{} parameters
 //
-// The check is per-function-body: calls into helpers are not followed,
-// so either annotate the helpers on the hot call chain too (the repo
-// does, from Preprocessor.Process down to the DSP kernels) or keep
-// cold-path work — error construction, logging — in unannotated
-// helpers. Intentional amortised growth is waived with
-// //blinkvet:ignore hotpathalloc.
+// The check is transitive: beyond the per-body constructs above, every
+// static call out of an annotated function is looked up in the
+// suite-wide fact sets (analysis.ComputeFacts). A call to a function
+// that is neither //blinkradar:hotpath (checked itself) nor
+// //blinkradar:coldpath (a reviewed cold branch — error construction,
+// restart paths) and whose fact set includes allocates or blocks is a
+// diagnostic, with the offending call chain printed. Dynamic calls
+// (func values, interface methods) cannot be followed and are the
+// check's documented blind spot. Intentional amortised growth is
+// waived with //blinkvet:ignore hotpathalloc -- <reason>.
 package hotpathalloc
 
 import (
@@ -35,12 +39,16 @@ import (
 )
 
 // Marker is the doc-comment annotation that opts a function into the
-// check.
-const Marker = "//blinkradar:hotpath"
+// check. ColdMarker waives a callee: a reviewed cold branch the
+// transitive check does not descend into.
+const (
+	Marker     = analysis.MarkerHotPath
+	ColdMarker = analysis.MarkerColdPath
+)
 
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "forbid allocating constructs in //blinkradar:hotpath functions",
+	Doc:  "forbid allocating or blocking constructs, direct or via callees, in //blinkradar:hotpath functions",
 	Run:  run,
 }
 
@@ -52,6 +60,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			checkBody(pass, fn)
+			checkCallees(pass, fn)
 		}
 	}
 	return nil
@@ -69,6 +78,47 @@ func isHotPath(fn *ast.FuncDecl) bool {
 	return false
 }
 
+// checkCallees is the transitive half: resolve every static call in
+// the hot function and consult the propagated fact sets.
+func checkCallees(pass *analysis.Pass, fn *ast.FuncDecl) {
+	facts := pass.Facts
+	if facts == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		id := analysis.FuncID(callee)
+		if facts.Hot(id) || facts.Cold(id) {
+			return true
+		}
+		if p := callee.Pkg(); p != nil && p.Path() == "fmt" {
+			return true // checkCall already reports fmt directly
+		}
+		bad := facts.Set(id) & (analysis.FactAllocates | analysis.FactBlocks)
+		if bad == 0 {
+			return true
+		}
+		for _, f := range []analysis.FactSet{analysis.FactAllocates, analysis.FactBlocks} {
+			if bad&f == 0 {
+				continue
+			}
+			chain := facts.Chain(id, f)
+			pass.Reportf(call.Pos(),
+				"hot path %s calls %s, which %s (%s); annotate the chain %s or mark the helper %s",
+				fn.Name.Name, analysis.ShortFuncID(id), f,
+				strings.Join(chain, " → "), Marker, ColdMarker)
+		}
+		return true
+	})
+}
+
 func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -81,7 +131,7 @@ func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
 				pass.Reportf(n.OpPos, "string concatenation allocates in hot path %s", fn.Name.Name)
 			}
 		case *ast.FuncLit:
-			if capt := capturedVar(pass, n); capt != "" {
+			if capt := analysis.CapturedVar(pass.TypesInfo, n); capt != "" {
 				pass.Reportf(n.Pos(), "closure captures %q and allocates in hot path %s", capt, fn.Name.Name)
 			}
 		case *ast.GoStmt:
@@ -155,36 +205,4 @@ func isString(pass *analysis.Pass, n *ast.BinaryExpr) bool {
 	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
-}
-
-// capturedVar returns the name of a variable the closure captures from
-// an enclosing scope, or "" when the closure is capture-free.
-// Package-level variables are not captures: referencing them costs no
-// closure cell.
-func capturedVar(pass *analysis.Pass, lit *ast.FuncLit) string {
-	var captured string
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if captured != "" {
-			return false
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
-		if !ok || v.IsField() {
-			return true
-		}
-		// Package-scope variables (of any package) and universe names
-		// are not closure captures.
-		if p := v.Parent(); p == nil || p == types.Universe || p.Parent() == types.Universe {
-			return true
-		}
-		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
-			captured = v.Name()
-			return false
-		}
-		return true
-	})
-	return captured
 }

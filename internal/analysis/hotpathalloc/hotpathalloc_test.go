@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPathAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hot")
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hot", "transitive")
 }

@@ -44,7 +44,7 @@ func Clean(dst, src []float64, k float64) float64 {
 //blinkradar:hotpath
 func Waived(buf []float64, n int) []float64 {
 	if cap(buf) < n {
-		buf = make([]float64, n) //blinkvet:ignore hotpathalloc amortised growth, BinSeries contract
+		buf = make([]float64, n) //blinkvet:ignore hotpathalloc -- amortised growth, BinSeries contract
 	}
 	return buf[:n]
 }

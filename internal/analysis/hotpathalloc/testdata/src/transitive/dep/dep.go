@@ -1,0 +1,42 @@
+// Package dep is the helper package the transitive fixture calls
+// into; the want:fact comments pin the propagated fact sets the
+// diagnostics in the parent package depend on.
+package dep
+
+import "time"
+
+// Grow allocates one hop down, so the printed chain has two links.
+func Grow(buf []float64, n int) []float64 { // want:fact allocates !blocks
+	return grow(buf, n)
+}
+
+func grow(buf []float64, n int) []float64 { // want:fact allocates
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Settle parks the goroutine; the blocks fact comes from the stdlib
+// table entry for time.Sleep.
+func Settle() { // want:fact blocks !allocates
+	time.Sleep(time.Millisecond)
+}
+
+// Sum is pure: in-place arithmetic only.
+func Sum(xs []float64) float64 { // want:fact !allocates !blocks !spawns
+	var acc float64
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// ColdFallback allocates but is a reviewed cold branch: the transitive
+// check does not descend into it.
+//
+//blinkradar:coldpath
+func ColdFallback() float64 { // want:fact allocates
+	out := make([]float64, 1)
+	return out[0]
+}

@@ -1,0 +1,21 @@
+// Package transitive exercises the call-graph half of hotpathalloc:
+// the hot function below is locally clean — every finding comes from
+// the propagated fact sets of the dep package.
+package transitive
+
+import "transitive/dep"
+
+//blinkradar:hotpath
+func Hot(buf []float64) float64 {
+	grown := dep.Grow(buf, 16) // want "hot path Hot calls dep.Grow, which allocates .dep.Grow → dep.grow."
+	dep.Settle()               // want "hot path Hot calls dep.Settle, which blocks .dep.Settle."
+	return dep.Sum(grown) + dep.ColdFallback()
+}
+
+// HotWaived pins that the transitive finding is suppressible like any
+// other.
+//
+//blinkradar:hotpath
+func HotWaived(buf []float64) []float64 {
+	return dep.Grow(buf, 16) //blinkvet:ignore hotpathalloc -- amortised growth, fixture
+}

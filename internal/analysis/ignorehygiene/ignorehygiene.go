@@ -1,0 +1,61 @@
+// Package ignorehygiene keeps the suppression ledger honest. A
+// //blinkvet:ignore comment silences an analyzer forever; the only
+// thing standing between that and silent invariant rot is the comment
+// explaining itself. Every suppression must therefore name the
+// analyzers it waives and carry a reason:
+//
+//	//blinkvet:ignore hotpathalloc -- amortised warm-up growth
+//
+// Bare ignores still suppress (so a cleanup never un-silences old
+// findings mid-flight) but are themselves diagnostics here, as are
+// suppressions naming analyzers the driver does not know about —
+// usually a typo that silences nothing while looking load-bearing.
+package ignorehygiene
+
+import (
+	"blinkradar/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ignorehygiene",
+	Doc:  "require //blinkvet:ignore comments to name analyzers and carry a ' -- <reason>' trailer",
+	Run:  run,
+}
+
+// Known is the registry of analyzer names a suppression may cite. The
+// driver populates it at start-up; when empty (for example under a
+// fixture harness that registers nothing) unknown-name checking is
+// skipped and only the structural rules apply.
+var Known = map[string]bool{}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names, _, hasReason, ok := analysis.ParseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				if len(names) == 0 {
+					pass.Reportf(c.Pos(),
+						"suppression names no analyzer; write %s <analyzer> -- <why>",
+						analysis.IgnorePrefix)
+					continue
+				}
+				if !hasReason {
+					pass.Reportf(c.Pos(),
+						"suppression of %v has no reason; append ' -- <why this finding is a false positive or accepted risk>'",
+						names)
+				}
+				if len(Known) > 0 {
+					for _, name := range names {
+						if !Known[name] {
+							pass.Reportf(c.Pos(), "suppression names unknown analyzer %q", name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

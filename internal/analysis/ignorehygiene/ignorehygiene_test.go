@@ -1,0 +1,12 @@
+package ignorehygiene_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/ignorehygiene"
+)
+
+func TestIgnoreHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", ignorehygiene.Analyzer, "ignores")
+}

@@ -1,0 +1,23 @@
+// Package ignores exercises suppression hygiene: every waiver must
+// name its analyzers and justify itself.
+package ignores
+
+func good(n int) []int {
+	return make([]int, n) //blinkvet:ignore hotpathalloc -- amortised growth, fixture
+}
+
+func goodMulti(n int) []int {
+	return make([]int, n) //blinkvet:ignore hotpathalloc,metrichygiene -- shared scratch registered once
+}
+
+func bareNames(n int) []int {
+	return make([]int, n) //blinkvet:ignore hotpathalloc // want "suppression of \\[hotpathalloc\\] has no reason"
+}
+
+func anonymous(n int) []int {
+	return make([]int, n) //blinkvet:ignore // want "suppression names no analyzer"
+}
+
+func reasonOnly(n int) []int {
+	return make([]int, n) //blinkvet:ignore -- looks justified but silences nothing // want "suppression names no analyzer"
+}

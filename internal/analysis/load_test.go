@@ -74,7 +74,7 @@ func TestSuppressionFiltering(t *testing.T) {
 	fset := token.NewFileSet()
 	src := `package p
 
-//blinkvet:ignore demo amortised growth
+//blinkvet:ignore demo -- amortised growth
 var x = 1
 
 var y = 2

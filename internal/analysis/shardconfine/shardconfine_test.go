@@ -1,0 +1,12 @@
+package shardconfine_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/shardconfine"
+)
+
+func TestShardConfine(t *testing.T) {
+	analysistest.Run(t, "testdata", shardconfine.Analyzer, "confine")
+}

@@ -1,0 +1,71 @@
+// Package confine mirrors the fleet layer's ownership shape: a
+// session whose monitor and applied-window state belong to the feed
+// worker, accessed from outside the domain by code that should have
+// gone through an atomic.
+package confine
+
+// monitor stands in for the per-session Monitor owned by the worker.
+type monitor struct{ frames int }
+
+// Session's confined fields may only be touched by code reachable
+// from the feed domain's entry points.
+type Session struct {
+	id  int
+	mon *monitor //blinkradar:confined feed
+	win float64  //blinkradar:confined feed
+}
+
+// newSession runs before the session is published: inside the domain.
+//
+//blinkradar:entry feed
+func newSession(id int) *Session {
+	return &Session{id: id, mon: &monitor{}, win: 1}
+}
+
+// drain is the worker entry; everything it reaches is in-domain.
+//
+//blinkradar:entry feed
+func drain(s *Session) {
+	feedOne(s)
+}
+
+func feedOne(s *Session) {
+	s.mon.frames++
+	s.win += 0.5
+}
+
+// Snapshot runs on the caller's goroutine: reading win races with the
+// worker.
+func Snapshot(s *Session) float64 {
+	return s.win // want "field Session.win is confined to domain \"feed\"; Snapshot is not reachable from its entry points"
+}
+
+// Poke writes through the confined pointer from outside the domain.
+func Poke(s *Session) {
+	s.mon.frames = 0 // want "field Session.mon is confined to domain \"feed\"; Poke is not reachable"
+}
+
+// Clone initializes a confined field outside the domain via a
+// composite literal.
+func Clone(s *Session) *Session {
+	return &Session{id: s.id, win: 0} // want "field Session.win is confined to domain \"feed\"; Clone is not reachable"
+}
+
+// Waived reads the pointer deliberately: the pointee is documented as
+// internally synchronized.
+func Waived(s *Session) *monitor {
+	return s.mon //blinkvet:ignore shardconfine -- monitor offers its own atomic accessors
+}
+
+// ID touches only unconfined state: no finding.
+func ID(s *Session) int { return s.id }
+
+// orphan has a confined field whose domain declares no entries — a
+// misconfiguration flagged at every access.
+type orphan struct {
+	state int //blinkradar:confined iso
+}
+
+func touch(o *orphan) int {
+	return o.state // want "field orphan.state is confined to domain \"iso\", which has no //blinkradar:entry functions"
+}

@@ -1,0 +1,69 @@
+// Package units reproduces the PR-6 window-drift bug class: frame
+// counts and wall-clock seconds are both "just numbers" until a
+// conversion silently drops the frame rate.
+package units
+
+// Frames counts slow-time frames.
+//
+//blinkradar:unit frames
+type Frames int
+
+// Seconds is wall-clock slow time.
+//
+//blinkradar:unit seconds
+type Seconds float64
+
+// Bin indexes a range bin.
+//
+//blinkradar:unit bin
+type Bin int
+
+// SecondsAt is the sanctioned frames→seconds crossing: it needs the
+// rate.
+func (f Frames) SecondsAt(rate float64) Seconds {
+	if rate <= 0 {
+		return 0
+	}
+	return Seconds(float64(f) / rate)
+}
+
+// Float64 escapes the unit system at an API boundary.
+func (s Seconds) Float64() float64 { return float64(s) }
+
+// SecondsOf admits a raw value at an API boundary.
+//
+//blinkradar:convert
+func SecondsOf(v float64) Seconds { return Seconds(v) }
+
+// drift is the bug: a frame count reinterpreted as seconds, no rate
+// in sight.
+func drift(frame Frames) Seconds {
+	return Seconds(frame) // want "conversion mixes units frames and seconds; cross units through the frame-rate helpers"
+}
+
+// leak escapes a unit without going through its accessor.
+func leak(s Seconds) float64 {
+	return float64(s) // want "unit seconds escapes to float64; use the unit type's accessor methods"
+}
+
+// smuggle casts a raw variable into a unit outside any convert helper.
+func smuggle(v float64) Seconds {
+	return Seconds(v) // want "raw float64 cast into unit seconds; construct it through a //blinkradar:convert helper"
+}
+
+// fine shows every allowed shape: untyped constants, same-unit
+// conversion, the rate helpers, accessor escapes, convert
+// constructors, and arithmetic within one unit.
+func fine(frame Frames, rate float64) float64 {
+	deadline := Seconds(1.5)
+	span := frame.SecondsAt(rate) + deadline
+	frame += Frames(10)
+	b := Bin(3)
+	_ = b
+	return span.Float64() + SecondsOf(0.25).Float64()
+}
+
+// waived keeps an intentional raw cast with a reason.
+func waived(v float64) Seconds {
+	return Seconds(v) //blinkvet:ignore timeunit -- checked against the config schema upstream
+}

@@ -1,0 +1,134 @@
+// Package timeunit enforces dimensional discipline on the slow-time
+// quantities the pipeline juggles: frame counts, wall-clock seconds
+// and range-bin indices. PR 6's window-drift bug was exactly a
+// frame-count quantity used where wall-clock seconds were meant, with
+// nothing in the types to object. internal/core now declares named
+// unit types for these quantities, annotated
+//
+//	//blinkradar:unit frames
+//	type Frames int
+//
+// and this analyzer polices the boundaries between them:
+//
+//   - a conversion from one unit type directly to another
+//     (core.Seconds(f) where f is core.Frames) is flagged — crossing
+//     units requires a rate, so it must go through the frame-rate
+//     conversion helpers (Frames.SecondsAt, Seconds.FramesAt);
+//   - a conversion from a unit type to a raw basic type
+//     (float64(span)) is flagged — escaping the unit system goes
+//     through the unit's accessor methods;
+//   - a conversion from a raw non-constant value into a unit type
+//     (core.Seconds(x)) is flagged — raw values enter through the
+//     //blinkradar:convert constructors at API boundaries.
+//
+// Conversions are permitted inside methods declared on a unit type and
+// inside functions annotated //blinkradar:convert: that is where the
+// helpers themselves live. Untyped constants (core.Frames(10)) are
+// always fine.
+package timeunit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"blinkradar/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "timeunit",
+	Doc:  "forbid conversions that mix //blinkradar:unit types without the frame-rate helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := pass.Facts
+	if facts == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	facts := pass.Facts
+	allowed := conversionContext(pass, decl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() || len(call.Args) != 1 {
+			return true
+		}
+		arg := call.Args[0]
+		dst := tv.Type
+		src := pass.TypesInfo.TypeOf(arg)
+		dstUnit, dstIsUnit := facts.UnitName(dst)
+		srcUnit, srcIsUnit := facts.UnitName(src)
+		if dstIsUnit && srcIsUnit {
+			if types.Identical(dst, src) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"conversion mixes units %s and %s; cross units through the frame-rate helpers (SecondsAt/FramesAt)",
+				srcUnit, dstUnit)
+			return true
+		}
+		if allowed {
+			return true
+		}
+		if srcIsUnit && !dstIsUnit && isBasic(dst) {
+			pass.Reportf(call.Pos(),
+				"unit %s escapes to %s; use the unit type's accessor methods instead of a raw conversion",
+				srcUnit, dst)
+			return true
+		}
+		if dstIsUnit && !srcIsUnit && isBasic(src) {
+			if av, ok := pass.TypesInfo.Types[arg]; ok && av.Value != nil {
+				return true // untyped constant, e.g. Frames(10)
+			}
+			pass.Reportf(call.Pos(),
+				"raw %s cast into unit %s; construct it through a //blinkradar:convert helper",
+				src, dstUnit)
+		}
+		return true
+	})
+}
+
+// conversionContext reports whether decl is a sanctioned place for
+// raw↔unit conversions: a method declared on a unit type, or a
+// function annotated //blinkradar:convert.
+func conversionContext(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	if pass.Facts.Convert(analysis.FuncID(fn)) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isUnit := pass.Facts.UnitName(sig.Recv().Type())
+	return isUnit
+}
+
+func isBasic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	// A named non-unit type over a basic kind does not count: the
+	// conversion target carries its own meaning.
+	_, ok := t.(*types.Basic)
+	return ok
+}

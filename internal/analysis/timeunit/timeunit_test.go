@@ -1,0 +1,12 @@
+package timeunit_test
+
+import (
+	"testing"
+
+	"blinkradar/internal/analysis/analysistest"
+	"blinkradar/internal/analysis/timeunit"
+)
+
+func TestTimeUnit(t *testing.T) {
+	analysistest.Run(t, "testdata", timeunit.Analyzer, "units")
+}

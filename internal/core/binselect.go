@@ -520,7 +520,7 @@ func (r *binRing) seriesInto(bin int, buf []complex128) []complex128 {
 	if cap(buf) < r.count {
 		// Grows only until the ring window fills; steady state reuses
 		// the caller's scratch.
-		buf = make([]complex128, r.count) //blinkvet:ignore hotpathalloc amortised warm-up growth
+		buf = make([]complex128, r.count) //blinkvet:ignore hotpathalloc -- amortised warm-up growth
 	}
 	buf = buf[:r.count]
 	start := r.pos - r.count

@@ -482,7 +482,12 @@ func (d *Detector) checkMotionRestart(dist float64) {
 }
 
 // restart re-runs bin selection from the current ring, re-seeds the
-// tracker and clears the motion counter.
+// tracker and clears the motion counter. A motion restart is a rare,
+// deliberate stall: it re-runs the parallel bin sweep and accepts the
+// allocation and the WaitGroup join, so the transitive hot-path check
+// treats it as a reviewed cold branch.
+//
+//blinkradar:coldpath
 func (d *Detector) restart() {
 	d.restarts++
 	d.mRestarts.Inc()

@@ -5,6 +5,8 @@ import "fmt"
 // errFrameBins reports a frame/preprocessor bin-count mismatch. It lives
 // outside the //blinkradar:hotpath bodies so the fmt machinery stays off
 // the per-frame path; the branch only fires on caller bugs.
+//
+//blinkradar:coldpath
 func errFrameBins(got, want int) error {
 	return fmt.Errorf("core: frame has %d bins, preprocessor configured for %d", got, want)
 }

@@ -7,10 +7,12 @@ import "fmt"
 // fmt machinery out of the annotated functions lets blinkvet verify the
 // per-frame path is allocation-free.
 
+//blinkradar:coldpath
 func errSampleCount(dst, n int) error {
 	return fmt.Errorf("dsp: destination has %d samples, input %d", dst, n)
 }
 
+//blinkradar:coldpath
 func errAliased(fn string) error {
 	return fmt.Errorf("dsp: %s destination must not alias the input", fn)
 }

@@ -255,6 +255,8 @@ func Goertzel(x []float64, k float64) complex128 {
 
 // validateLength returns an error for non-positive lengths; shared by the
 // design helpers in this package.
+//
+//blinkradar:coldpath
 func validateLength(name string, n int) error {
 	if n <= 0 {
 		return fmt.Errorf("dsp: %s must be positive, got %d", name, n)

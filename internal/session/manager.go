@@ -137,7 +137,7 @@ type shard struct {
 	sessions map[string]*Session
 	free     []*Session // free-list pool, guarded by mgr.admit
 	wake     chan struct{}
-	scratch  []*Session // worker-only drain snapshot
+	scratch  []*Session //blinkradar:confined shard
 
 	gSessions   *obs.Gauge
 	gQueued     *obs.Gauge
@@ -228,9 +228,9 @@ func NewManager(cfg Config) (*Manager, error) {
 			// Bounded construction-time loop: one gauge set per shard,
 			// shard count fixed for the manager's lifetime.
 			name := shardGaugeName(i)
-			sh.gSessions = r.Gauge(name + "_sessions")     //blinkvet:ignore metrichygiene per-shard gauges, bounded at construction
-			sh.gQueued = r.Gauge(name + "_queued_frames")  //blinkvet:ignore metrichygiene per-shard gauges, bounded at construction
-			sh.gSaturation = r.Gauge(name + "_saturation") //blinkvet:ignore metrichygiene per-shard gauges, bounded at construction
+			sh.gSessions = r.Gauge(name + "_sessions")     //blinkvet:ignore metrichygiene -- per-shard gauges, bounded at construction
+			sh.gQueued = r.Gauge(name + "_queued_frames")  //blinkvet:ignore metrichygiene -- per-shard gauges, bounded at construction
+			sh.gSaturation = r.Gauge(name + "_saturation") //blinkvet:ignore metrichygiene -- per-shard gauges, bounded at construction
 		}
 		m.shards[i] = sh
 		m.wg.Add(1)
@@ -555,7 +555,11 @@ func (sh *shard) wakeWorker() {
 }
 
 // run is the shard worker: drain every session's queue in bounded
-// batches until nothing is left, then sleep on the wake channel.
+// batches until nothing is left, then sleep on the wake channel. It is
+// the root of the shard domain — the scratch snapshot below is touched
+// only from here.
+//
+//blinkradar:entry shard
 func (sh *shard) run() {
 	for {
 		select {
@@ -604,7 +608,9 @@ func (sh *shard) drainPass() int {
 // drainSession feeds one bounded batch from a session's queue through
 // its pipeline. peek/commitPop bracket each feed so the slot cannot be
 // overwritten mid-feed; feedMu keeps detach from recycling state under
-// the worker.
+// the worker — making this the worker-side entry of the feed domain.
+//
+//blinkradar:entry feed
 func (sh *shard) drainSession(s *Session) int {
 	s.feedMu.Lock()
 	defer s.feedMu.Unlock()

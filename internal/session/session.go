@@ -57,8 +57,11 @@ func (p PressureState) String() string {
 // the shard worker that feeds the pipeline. All state is recycled on
 // detach; the struct is only ever allocated on a pool miss.
 type Session struct {
-	id  string
-	mon *blinkradar.Monitor
+	id string
+	// mon belongs to the feed domain: the Monitor is not concurrent-safe,
+	// so only the shard worker (under feedMu) and the recycle path may
+	// touch it. Health() is the one documented cross-goroutine-safe call.
+	mon *blinkradar.Monitor //blinkradar:confined feed
 
 	// Frame queue: a flat ring of slots×bins samples. Slot i carries
 	// gaps[i], the frames known lost immediately before it (upstream
@@ -86,7 +89,7 @@ type Session struct {
 	pressure   atomic.Int32
 	wantWindow atomic.Uint64 // math.Float64bits of the desired span
 	// appliedWindow is worker-only (guarded by feedMu).
-	appliedWindow float64
+	appliedWindow float64 //blinkradar:confined feed
 
 	// feedMu is held by the shard worker around each feed batch and by
 	// attach/detach around recycling, so pooled state never changes
@@ -108,6 +111,10 @@ type Session struct {
 	assessErrs  atomic.Uint64
 }
 
+// newSession runs before the session is published to any shard map:
+// no other goroutine can see the state it initializes.
+//
+//blinkradar:entry feed
 func newSession(bins, slots int, mon *blinkradar.Monitor, windowSec float64) *Session {
 	s := &Session{
 		mon:   mon,
@@ -253,7 +260,10 @@ func (s *Session) loadWantWindow() float64 {
 // final accounting. Frames still queued were never fed; they are folded
 // into the dropped count so submitted == processed + dropped holds at
 // detach. Caller holds feedMu and has already removed the session from
-// its shard map, so neither the worker nor a submitter can race this.
+// its shard map, so neither the worker nor a submitter can race this —
+// which is exactly the ownership the feed domain requires.
+//
+//blinkradar:entry feed
 func (s *Session) recycle(windowSec float64) SessionStats {
 	s.qmu.Lock()
 	s.gen.Add(1)

@@ -3,6 +3,7 @@ package blinkradar
 import (
 	"fmt"
 
+	"blinkradar/internal/core"
 	"blinkradar/internal/obs"
 	"blinkradar/internal/vitals"
 )
@@ -23,24 +24,26 @@ type Monitor struct {
 	// both shortens every window and drifts its boundary away from the
 	// wall clock while BlinkRate still divides by windowSec. Frames only
 	// *trigger* assessment, once their timeline passes the boundary.
-	baseWindowSec    float64 // as-constructed span, restored by Reset
-	windowSec        float64 // span of the window currently open
-	pendingWindowSec float64 // takes effect at the next boundary; 0 = none
-	winStart         float64 // start of the open window, seconds
-	winEnd           float64 // end of the open window, seconds
+	// The core.Seconds/core.Frames unit types keep the two clocks from
+	// mixing without a rate: that exact confusion was the drift bug.
+	baseWindowSec    core.Seconds // as-constructed span, restored by Reset
+	windowSec        core.Seconds // span of the window currently open
+	pendingWindowSec core.Seconds // takes effect at the next boundary; 0 = none
+	winStart         core.Seconds // start of the open window
+	winEnd           core.Seconds // end of the open window
 	// lagSec defers each window's assessment past its end by the
 	// detector's delivery lag: LEVD stamps events in the past (smoother
 	// group delay, refractory hold), so a blink delivered just after a
 	// boundary can carry Time < winStart of the new window. Assessing
 	// only once every event for the window must have been delivered
 	// lands each event in exactly one window.
-	lagSec float64
+	lagSec core.Seconds
 
 	vitals    *vitals.Monitor
-	vitalsBin int
+	vitalsBin core.Bin
 
 	events []BlinkEvent
-	frame  int
+	frame  core.Frames
 
 	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
 	mAssessments *obs.Counter
@@ -84,13 +87,14 @@ func NewMonitor(cfg Config, numBins int, frameRate, windowSec float64, opts ...O
 	if err != nil {
 		return nil, err
 	}
+	span := core.SecondsOf(windowSec)
 	return &Monitor{
 		det:           det,
 		model:         &DrowsinessModel{},
-		baseWindowSec: windowSec,
-		windowSec:     windowSec,
-		winEnd:        windowSec,
-		lagSec:        det.DeliveryLagSec(),
+		baseWindowSec: span,
+		windowSec:     span,
+		winEnd:        span,
+		lagSec:        core.SecondsOf(det.DeliveryLagSec()),
 		frameRate:     frameRate,
 		vitals:        vm,
 		vitalsBin:     -1,
@@ -98,7 +102,7 @@ func NewMonitor(cfg Config, numBins int, frameRate, windowSec float64, opts ...O
 }
 
 // WindowSec returns the span of the assessment window currently open.
-func (m *Monitor) WindowSec() float64 { return m.windowSec }
+func (m *Monitor) WindowSec() float64 { return m.windowSec.Float64() }
 
 // SetWindowSec schedules a new assessment-window span. It takes effect
 // at the next window boundary, so the accounting of the window already
@@ -109,7 +113,7 @@ func (m *Monitor) SetWindowSec(sec float64) error {
 	if sec <= 0 {
 		return fmt.Errorf("blinkradar: window must be positive, got %g", sec)
 	}
-	m.pendingWindowSec = sec
+	m.pendingWindowSec = core.SecondsOf(sec)
 	return nil
 }
 
@@ -166,9 +170,9 @@ func (m *Monitor) Feed(frame []complex128) (ev BlinkEvent, ok bool, assessment *
 	// Feed the vital-sign estimator from the tracked bin; a bin change
 	// invalidates its window.
 	if z, bin, sampled := m.det.CurrentSample(); sampled {
-		if bin != m.vitalsBin {
+		if core.BinOf(bin) != m.vitalsBin {
 			m.vitals.Reset()
-			m.vitalsBin = bin
+			m.vitalsBin = core.BinOf(bin)
 		}
 		m.vitals.Push(z)
 	}
@@ -181,12 +185,12 @@ func (m *Monitor) Feed(frame []complex128) (ev BlinkEvent, ok bool, assessment *
 func (m *Monitor) ingest(ev BlinkEvent, ok bool) (BlinkEvent, bool, *Assessment, error) {
 	if ok {
 		e := ev
-		if e.Time < m.winStart {
+		if e.Time < m.winStart.Float64() {
 			// Delivered later than the detector's documented lag bound
 			// (pathological sustained ringing): its window is already
 			// closed. Clamp it into the open window so it is counted
 			// exactly once rather than in no window at all.
-			e.Time = m.winStart
+			e.Time = m.winStart.Float64()
 		}
 		m.events = append(m.events, e)
 	}
@@ -209,10 +213,10 @@ func (m *Monitor) ingest(ev BlinkEvent, ok bool) (BlinkEvent, bool, *Assessment,
 // arrives: LEVD emits events in stamped order, so nothing earlier is
 // still pending.
 func (m *Monitor) windowComplete(ev BlinkEvent, ok bool) bool {
-	if ok && ev.Time >= m.winEnd {
+	if ok && ev.Time >= m.winEnd.Float64() {
 		return true
 	}
-	return float64(m.frame)/m.frameRate-m.lagSec >= m.winEnd
+	return m.frame.SecondsAt(m.frameRate)-m.lagSec >= m.winEnd
 }
 
 // assess summarises the completed window [winStart, winEnd) and opens
@@ -225,16 +229,16 @@ func (m *Monitor) assess() (Assessment, error) {
 	var count int
 	var durSum float64
 	for _, e := range m.events {
-		if e.Time >= start && e.Time < end {
+		if e.Time >= start.Float64() && e.Time < end.Float64() {
 			count++
 			durSum += e.Duration
 		}
 	}
-	f := WindowFeatures{BlinkRate: float64(count) / span * 60}
+	f := WindowFeatures{BlinkRate: float64(count) / span.Float64() * 60}
 	if count > 0 {
 		f.MeanBlinkDuration = durSum / float64(count)
 	}
-	a := Assessment{WindowEnd: end, Features: f, Posterior: 0.5}
+	a := Assessment{WindowEnd: end.Float64(), Features: f, Posterior: 0.5}
 	if est, ok := m.vitals.Last(); ok {
 		a.Vitals = &est
 	}
@@ -266,7 +270,7 @@ func (m *Monitor) assess() (Assessment, error) {
 	cutoff := end - 2*span
 	trimmed := m.events[:0]
 	for _, e := range m.events {
-		if e.Time >= cutoff {
+		if e.Time >= cutoff.Float64() {
 			trimmed = append(trimmed, e)
 		}
 	}
