@@ -50,19 +50,54 @@ func TestRadarsimCaptureRoundTrip(t *testing.T) {
 		t.Fatalf("radarsim: %v\n%s", err, out)
 	}
 
-	// The capture file must decode into the exact frame matrix the
-	// library produces for the same spec.
+	// The capture file must be a clean indexed v1 .brc that decodes into
+	// the exact frame matrix the library produces for the same spec.
 	f, err := os.Open(capturePath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	m, err := transport.ReadCapture(f)
+	cr, err := transport.NewCaptureReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Header().Version != transport.CaptureVersion {
+		t.Fatalf("radarsim wrote capture version %d, want %d", cr.Header().Version, transport.CaptureVersion)
+	}
+	if !cr.Indexed() {
+		t.Fatal("radarsim capture has no valid footer index")
+	}
+	if err := cr.Truncated(); err != nil {
+		t.Fatalf("fresh radarsim capture reports truncation: %v", err)
+	}
+	m, err := cr.ReadMatrix()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.NumFrames() != 45*25 {
 		t.Fatalf("capture has %d frames, want %d", m.NumFrames(), 45*25)
+	}
+
+	// The legacy writer remains reachable, and its output still loads
+	// through the legacy reader.
+	v0Path := filepath.Join(dir, "capture_v0.brc")
+	cmd = exec.Command(radarsim,
+		"-out", v0Path,
+		"-truth", filepath.Join(dir, "capture_v0.json"),
+		"-format", "v0",
+		"-duration", "5",
+		"-seed", "99",
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("radarsim -format v0: %v\n%s", err, out)
+	}
+	v0f, err := os.Open(v0Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v0f.Close()
+	if _, err := transport.ReadCapture(v0f); err != nil {
+		t.Fatalf("v0 capture through the legacy reader: %v", err)
 	}
 
 	// The truth sidecar must parse and line up with detection results.

@@ -2,17 +2,13 @@ package main
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"io"
 	"log"
 	"net"
-	"sync"
 	"time"
 
+	"blinkradar/internal/ingest"
 	"blinkradar/internal/obs"
 	"blinkradar/internal/session"
-	"blinkradar/internal/transport"
 )
 
 // ingestOptions collects the multi-session listener flags.
@@ -32,13 +28,9 @@ type ingestOptions struct {
 // simulated capture outward, it accepts inbound radar streams — one TCP
 // connection per vehicle, speaking the same hello+frame codec in the
 // reverse direction — and runs every stream through its own pooled
-// detection pipeline on the session manager's per-core shards.
-//
-// The connection is the session: its remote address is the session ID,
-// a decoded sequence gap becomes Manager.NoteGap, EOF detaches. The
-// manager's typed rejections map to connection handling — admission
-// refusals close the connection immediately; rate-limited frames are
-// discarded and the stream carries on.
+// detection pipeline on the session manager's per-core shards. The
+// serving loop itself lives in internal/ingest, shared with the
+// radarfleet soak harness.
 func runIngest(ctx context.Context, opts ingestOptions, reg *obs.Registry, logger *log.Logger) error {
 	mgr, err := session.NewManager(session.Config{
 		NumBins:             opts.numBins,
@@ -63,94 +55,9 @@ func runIngest(ctx context.Context, opts ingestOptions, reg *obs.Registry, logge
 	logger.Printf("ingesting %d-bin streams at %.1f fps on %s (%d shards)",
 		opts.numBins, opts.frameRate, ln.Addr(), opts.shards)
 
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		<-ctx.Done()
-		ln.Close()
-	}()
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		tick := time.NewTicker(10 * time.Second)
-		defer tick.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-tick.C:
-				st := mgr.Stats()
-				logger.Printf("fleet: %d sessions, %d queued, %d frames (%d dropped, %d limited), %d widened, %d degraded",
-					st.Sessions, st.Queued, st.Frames, st.Dropped, st.Limited, st.Widens, st.Degrades)
-			}
-		}
-	}()
-
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			wg.Wait()
-			if ctx.Err() != nil {
-				return ctx.Err()
-			}
-			return err
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := serveStream(ctx, conn, mgr, opts); err != nil &&
-				!errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
-				logger.Printf("stream %s: %v", conn.RemoteAddr(), err)
-			}
-		}()
-	}
-}
-
-// serveStream runs one inbound radar stream: hello, geometry check,
-// attach, decode/submit loop, detach.
-func serveStream(ctx context.Context, conn net.Conn, mgr *session.Manager, opts ingestOptions) error {
-	defer conn.Close()
-	// Tie the blocking reads to the daemon lifetime.
-	unhook := context.AfterFunc(ctx, func() { conn.Close() })
-	defer unhook()
-
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	hello, err := transport.DecodeHello(conn)
-	if err != nil {
-		return fmt.Errorf("hello: %w", err)
-	}
-	if int(hello.NumBins) != opts.numBins {
-		return fmt.Errorf("%w: stream announces %d bins, daemon expects %d",
-			session.ErrGeometry, hello.NumBins, opts.numBins)
-	}
-	conn.SetReadDeadline(time.Time{})
-
-	id := conn.RemoteAddr().String()
-	if err := mgr.Attach(id); err != nil {
-		return fmt.Errorf("attach: %w", err)
-	}
-	defer mgr.Detach(id)
-
-	dec := transport.NewDecoder(conn)
-	dec.SetExpectedBins(hello.NumBins)
-	var lastSeq uint64
-	haveSeq := false
-	for {
-		f, err := dec.Decode()
-		if err != nil {
-			return err
-		}
-		if haveSeq && f.Seq > lastSeq+1 {
-			mgr.NoteGap(id, f.Seq-lastSeq-1)
-		}
-		lastSeq, haveSeq = f.Seq, true
-		switch err := mgr.Submit(id, f.Bins); {
-		case err == nil:
-		case errors.Is(err, session.ErrRateLimited):
-			// Over budget: the frame is discarded, the stream lives on.
-		default:
-			return err
-		}
-	}
+	return ingest.Serve(ctx, ln, mgr, ingest.Options{
+		NumBins:    opts.numBins,
+		Logger:     logger,
+		StatsEvery: 10 * time.Second,
+	})
 }

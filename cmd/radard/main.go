@@ -35,17 +35,18 @@ import (
 func main() {
 	logger := log.New(os.Stderr, "radard: ", log.LstdFlags)
 	var (
-		addr      = flag.String("addr", ":7341", "TCP listen address")
-		adminAddr = flag.String("admin", ":7342", "admin HTTP address for /metrics, /healthz and pprof (empty disables)")
-		file      = flag.String("file", "", "replay a radarsim capture instead of simulating")
-		loop      = flag.Bool("loop", true, "repeat the capture indefinitely")
-		pace      = flag.Bool("pace", true, "pace frames to the radio frame rate")
-		speed     = flag.Float64("speed", 1, "playback speed multiplier when pacing")
-		startSeq  = flag.Uint64("start-seq", 0, "initial frame sequence number (lets restarts preserve gap accounting downstream)")
-		subjectID = flag.Int("subject", 1, "participant profile id (simulated mode)")
-		duration  = flag.Float64("duration", 120, "simulated capture length in seconds")
-		drowsy    = flag.Bool("drowsy-state", false, "simulate a drowsy driver")
-		seed      = flag.Int64("seed", 1, "scenario seed (simulated mode)")
+		addr       = flag.String("addr", ":7341", "TCP listen address")
+		adminAddr  = flag.String("admin", ":7342", "admin HTTP address for /metrics, /healthz and pprof (empty disables)")
+		file       = flag.String("file", "", "replay a radarsim capture instead of simulating")
+		loop       = flag.Bool("loop", true, "repeat the capture indefinitely")
+		pace       = flag.Bool("pace", true, "pace frames to the radio frame rate")
+		speed      = flag.Float64("speed", 1, "playback speed multiplier when pacing (100 serves a capture at 100x realtime)")
+		startFrame = flag.Int("start-frame", 0, "replay the capture from this frame index (seeks via the v1 footer index)")
+		startSeq   = flag.Uint64("start-seq", 0, "initial frame sequence number (lets restarts preserve gap accounting downstream)")
+		subjectID  = flag.Int("subject", 1, "participant profile id (simulated mode)")
+		duration   = flag.Float64("duration", 120, "simulated capture length in seconds")
+		drowsy     = flag.Bool("drowsy-state", false, "simulate a drowsy driver")
+		seed       = flag.Int64("seed", 1, "scenario seed (simulated mode)")
 
 		chaosSpec       = flag.String("chaos", "", "frame-level fault spec, e.g. seed=7,drop=0.05,nan=0.01 (see internal/chaos.ParseSpec)")
 		faultSeed       = flag.Int64("fault-seed", 0, "rng seed for byte-level connection faults")
@@ -92,7 +93,7 @@ func main() {
 		return
 	}
 
-	matrix, err := loadMatrix(*file, *subjectID, *duration, *drowsy, *seed, logger)
+	matrix, err := loadMatrix(*file, *startFrame, *subjectID, *duration, *drowsy, *seed, logger)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -197,9 +198,16 @@ func startAdmin(ctx context.Context, addr string, reg *obs.Registry, health func
 	logger.Printf("admin endpoints on %s (/metrics, /healthz, /debug/pprof/)", adminLn.Addr())
 }
 
-// loadMatrix replays a capture file or simulates a fresh one.
-func loadMatrix(path string, subjectID int, duration float64, drowsy bool, seed int64, logger *log.Logger) (*blinkradar.FrameMatrix, error) {
+// loadMatrix replays a capture file or simulates a fresh one. Capture
+// files go through CaptureReader, which handles both the indexed v1
+// format and legacy v0 dumps, serves the intact prefix of a torn file
+// (with a warning) instead of refusing it, and seeks -start-frame via
+// the footer index.
+func loadMatrix(path string, startFrame, subjectID int, duration float64, drowsy bool, seed int64, logger *log.Logger) (*blinkradar.FrameMatrix, error) {
 	if path == "" {
+		if startFrame != 0 {
+			return nil, fmt.Errorf("-start-frame needs a capture file to seek in")
+		}
 		spec := blinkradar.DefaultSpec()
 		spec.Subject = blinkradar.NewSubject(subjectID)
 		spec.Environment = blinkradar.Driving
@@ -220,5 +228,12 @@ func loadMatrix(path string, subjectID int, duration float64, drowsy bool, seed 
 		return nil, fmt.Errorf("open capture: %w", err)
 	}
 	defer f.Close()
-	return transport.ReadCapture(f)
+	cr, err := transport.NewCaptureReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("read capture: %w", err)
+	}
+	if terr := cr.Truncated(); terr != nil {
+		logger.Printf("capture %s does not end cleanly (%v); serving its %d intact frames", path, terr, cr.NumFrames())
+	}
+	return cr.ReadMatrixFrom(startFrame)
 }

@@ -1,11 +1,14 @@
 // Command radarsim generates a synthetic radar capture and writes it to
-// disk in the transport wire format (stream hello followed by encoded
-// frames), together with a JSON ground-truth sidecar. The output can be
-// replayed by cmd/radard or analysed offline.
+// disk in the .brc capture format — by default v1 (versioned header,
+// per-frame CRC, seekable index footer, torn-write recovery; see
+// internal/transport/capture.go), or the legacy v0 wire dump (stream
+// hello followed by encoded frames) with -format v0 — together with a
+// JSON ground-truth sidecar. The output can be replayed by cmd/radard
+// or cmd/radarfleet, or analysed offline.
 //
 // Usage:
 //
-//	radarsim -out capture.brc [-truth capture.json] [flags]
+//	radarsim -out capture.brc [-truth capture.json] [-format v1] [flags]
 package main
 
 import (
@@ -51,8 +54,12 @@ func main() {
 		driving   = flag.Bool("driving", false, "on-road capture instead of lab")
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		chaosSpec = flag.String("chaos", "", "fault spec applied to the written frames, e.g. seed=7,drop=0.05,nan=0.01 (see internal/chaos.ParseSpec)")
+		format    = flag.String("format", "v1", "capture format: v1 (indexed, crash-safe) or v0 (legacy hello+frames)")
 	)
 	flag.Parse()
+	if *format != "v1" && *format != "v0" {
+		log.Fatalf("unknown -format %q (want v1 or v0)", *format)
+	}
 	if *truthOut == "" {
 		*truthOut = *out + ".json"
 	}
@@ -76,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := writeCapture(*out, capture, inj); err != nil {
+	if err := writeCapture(*out, *format, capture, inj); err != nil {
 		log.Fatal(err)
 	}
 	if inj != nil {
@@ -112,26 +119,44 @@ func buildInjector(spec string) (*chaos.Injector, error) {
 	return chaos.New(cfg)
 }
 
-func writeCapture(path string, capture *blinkradar.Capture, inj *chaos.Injector) error {
+func writeCapture(path, format string, capture *blinkradar.Capture, inj *chaos.Injector) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("create capture: %w", err)
 	}
 	defer f.Close()
 	m := capture.Frames
-	if err := transport.EncodeHello(f, transport.StreamHello{
+	hello := transport.StreamHello{
 		FrameRate:  m.FrameRate,
 		BinSpacing: m.BinSpacing,
 		NumBins:    uint32(m.NumBins()),
-	}); err != nil {
-		return err
 	}
-	enc := transport.NewEncoder(f)
-	write := func(out transport.Frame) error { return enc.Encode(out) }
+
+	var write func(out transport.Frame) error
+	var finish func() error
+	if format == "v1" {
+		// Start time 0: synthetic captures carry no wall-clock epoch, and
+		// a byte-identical file for identical flags lets CI cache the
+		// generated corpus by content.
+		cw, err := transport.NewCaptureWriter(f, hello, 0)
+		if err != nil {
+			return err
+		}
+		write = cw.WriteFrame
+		finish = cw.Close
+	} else {
+		if err := transport.EncodeHello(f, hello); err != nil {
+			return err
+		}
+		enc := transport.NewEncoder(f)
+		write = enc.Encode
+		finish = enc.Flush
+	}
+
 	for k, frame := range m.Data {
 		in := transport.Frame{
 			Seq:             uint64(k),
-			TimestampMicros: uint64(m.FrameTime(k) * 1e6),
+			TimestampMicros: transport.TimestampMicros(m.FrameTime(k)),
 			Bins:            frame,
 		}
 		if inj == nil {
@@ -155,7 +180,7 @@ func writeCapture(path string, capture *blinkradar.Capture, inj *chaos.Injector)
 			}
 		}
 	}
-	if err := enc.Flush(); err != nil {
+	if err := finish(); err != nil {
 		return err
 	}
 	return f.Close()

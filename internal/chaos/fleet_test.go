@@ -49,6 +49,14 @@ func TestChaosFleetFlapRecovery(t *testing.T) {
 		WindowSec: 60,
 		Core:      blinkradar.DefaultConfig(),
 		Shards:    4,
+		// Submissions are uniform (one frame per session per round), so
+		// the starved-shard worst case under the global pace bound below
+		// — one shard's worker descheduled while the rest drain — lands
+		// ~fleetSessions*16 frames evenly on that shard's ~100 sessions:
+		// 64 each, exactly the default queue depth. Keep per-session
+		// capacity well above that so scheduler skew (single-core CI)
+		// cannot turn the paced load into backpressure drops.
+		QueueFrames: 256,
 	}
 	m, err := session.NewManager(cfg)
 	if err != nil {

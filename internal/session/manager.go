@@ -458,6 +458,7 @@ func (m *Manager) NoteGap(id string, missed uint64) error {
 	}
 	s.pendingGap += missed
 	s.qmu.Unlock()
+	s.gapFrames.Add(missed)
 	return nil
 }
 

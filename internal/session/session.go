@@ -106,6 +106,7 @@ type Session struct {
 	processed   atomic.Uint64
 	dropped     atomic.Uint64
 	limited     atomic.Uint64
+	gapFrames   atomic.Uint64
 	blinks      atomic.Uint64
 	assessments atomic.Uint64
 	assessErrs  atomic.Uint64
@@ -287,6 +288,7 @@ func (s *Session) recycle(windowSec float64) SessionStats {
 	s.processed.Store(0)
 	s.dropped.Store(0)
 	s.limited.Store(0)
+	s.gapFrames.Store(0)
 	s.blinks.Store(0)
 	s.assessments.Store(0)
 	s.assessErrs.Store(0)
@@ -301,6 +303,7 @@ func (s *Session) snapshot() SessionStats {
 		Processed:   s.processed.Load(),
 		Dropped:     s.dropped.Load(),
 		Limited:     s.limited.Load(),
+		GapFrames:   s.gapFrames.Load(),
 		Blinks:      s.blinks.Load(),
 		Assessments: s.assessments.Load(),
 		AssessErrs:  s.assessErrs.Load(),
@@ -330,6 +333,12 @@ type SessionStats struct {
 	Dropped uint64
 	// Limited counts frames rejected by the token bucket.
 	Limited uint64
+	// GapFrames counts frames the transport reported lost upstream via
+	// NoteGap — sequence holes the pipeline was told about, as opposed
+	// to local backpressure drops (Dropped). A soak harness that knows
+	// exactly how many frames its chaos injector removed can check this
+	// for equality.
+	GapFrames uint64
 	// Queued is the current queue depth.
 	Queued uint64
 	// Blinks counts blink events the pipeline delivered.

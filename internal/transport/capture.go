@@ -1,0 +1,566 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"blinkradar/internal/rf"
+)
+
+// This file implements the versioned .brc capture format (v1): the
+// on-disk substrate of record/replay evaluation. Layout:
+//
+//	file header (44 bytes):
+//	  0  [8]byte  magic "BRC1" 0xB1 0x1C '\r' '\n'
+//	  8  uint16   capture format version (1)
+//	  10 uint16   reserved (0)
+//	  12 uint32   bin count
+//	  16 float64  frame rate (frames/s)
+//	  24 float64  bin spacing (m)
+//	  32 uint64   start time (unix microseconds; 0 = unknown/synthetic)
+//	  40 uint32   CRC32 (IEEE) over bytes 0..40
+//	frames: each in the wire codec format (per-frame header + CRC,
+//	  see codec.go), geometry pinned to the file header's bin count
+//	footer (written at Close):
+//	  uint32   footer magic "BRIX"
+//	  uint32   reserved (0)
+//	  uint64   frame count
+//	  N×uint64 absolute file offset of each frame
+//	  uint32   CRC32 (IEEE) over the footer up to here
+//	  uint64   absolute file offset of the footer magic
+//	  [8]byte  trailer magic "BRCE" 0xB1 0x1C '\r' '\n'
+//
+// The trailing footer makes a finished capture seekable (O(1) to any
+// frame) without breaking streaming writes: frames are appended as
+// they arrive and the index is emitted once, at Close. A capture cut
+// short — crash, power loss, torn copy — simply lacks the footer (or
+// carries a damaged one); CaptureReader then rebuilds the index by
+// scanning the CRC-framed frames and surfaces the damage as
+// ErrTruncatedCapture while still serving every intact frame. Legacy
+// v0 captures (stream hello + frames, no index) load through the same
+// reader.
+
+// ErrTruncatedCapture marks a capture whose tail is missing or
+// damaged — a torn write, a crash before Close, a partial copy. It is
+// a recoverable condition: CaptureReader still serves the intact
+// frame prefix; the error reports that the file does not end cleanly.
+var ErrTruncatedCapture = errors.New("transport: truncated capture")
+
+// CaptureVersion is the current capture file format version.
+const CaptureVersion = 1
+
+var (
+	captureMagic  = [8]byte{'B', 'R', 'C', '1', 0xB1, 0x1C, '\r', '\n'}
+	captureTrail  = [8]byte{'B', 'R', 'C', 'E', 0xB1, 0x1C, '\r', '\n'}
+	captureFooter = [4]byte{'B', 'R', 'I', 'X'}
+)
+
+const (
+	captureHeaderSize = 44
+	// captureFooterFixed is the footer size without the offset table:
+	// magic(4) reserved(4) count(8) crc(4).
+	captureFooterFixed = 20
+	// captureTailSize is the fixed tail after the footer: the footer's
+	// own offset (8) plus the trailer magic (8).
+	captureTailSize = 16
+)
+
+// CaptureHeader describes a capture file: its format version, the
+// stream geometry, and the recording start time.
+type CaptureHeader struct {
+	// Version is the capture format version: 1 for indexed .brc v1
+	// files, 0 for legacy hello+frames captures.
+	Version int
+	// Hello is the stream geometry (frame rate, bin spacing, bins).
+	Hello StreamHello
+	// StartTimeMicros is the recording start in unix microseconds;
+	// zero means unknown (synthetic captures). v0 files carry none.
+	StartTimeMicros uint64
+}
+
+// syncer is the subset of *os.File Checkpoint needs to make buffered
+// frames durable.
+type syncer interface{ Sync() error }
+
+// CaptureWriter streams frames into a .brc v1 capture. Frames are
+// buffered and CRC-framed as written; the seekable index is emitted as
+// a footer by Close. Periodic checkpoints (every CheckpointEvery
+// frames, or explicit Checkpoint calls) flush — and, when the
+// destination supports it, fsync — so a crash mid-capture loses at
+// most the frames since the last checkpoint: everything before it is
+// recoverable by CaptureReader's torn-tail scan even though the
+// footer was never written.
+type CaptureWriter struct {
+	bw      *bufio.Writer
+	sync    syncer
+	enc     *Encoder
+	hello   StreamHello
+	start   uint64
+	offsets []int64
+	off     int64
+	every   int
+	since   int
+	closed  bool
+}
+
+// NewCaptureWriter writes the v1 file header for the given geometry
+// and returns a writer appending frames to w. startMicros stamps the
+// recording start (unix microseconds; 0 for synthetic captures). The
+// caller owns w; Close finishes the capture but does not close it.
+func NewCaptureWriter(w io.Writer, hello StreamHello, startMicros uint64) (*CaptureWriter, error) {
+	if !plausibleHello(hello) {
+		return nil, fmt.Errorf("transport: invalid capture geometry %+v", hello)
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [captureHeaderSize]byte
+	copy(hdr[0:], captureMagic[:])
+	binary.BigEndian.PutUint16(hdr[8:], CaptureVersion)
+	binary.BigEndian.PutUint32(hdr[12:], hello.NumBins)
+	binary.BigEndian.PutUint64(hdr[16:], math.Float64bits(hello.FrameRate))
+	binary.BigEndian.PutUint64(hdr[24:], math.Float64bits(hello.BinSpacing))
+	binary.BigEndian.PutUint64(hdr[32:], startMicros)
+	binary.BigEndian.PutUint32(hdr[40:], crc32.ChecksumIEEE(hdr[:40]))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: write capture header: %w", err)
+	}
+	cw := &CaptureWriter{
+		bw:    bw,
+		enc:   NewEncoder(bw),
+		hello: hello,
+		start: startMicros,
+		off:   captureHeaderSize,
+		every: 256,
+	}
+	if s, ok := w.(syncer); ok {
+		cw.sync = s
+	}
+	return cw, nil
+}
+
+// SetCheckpointEvery changes the automatic checkpoint period in frames
+// (default 256); zero or negative disables automatic checkpoints.
+func (cw *CaptureWriter) SetCheckpointEvery(n int) { cw.every = n }
+
+// NumFrames reports the frames written so far.
+func (cw *CaptureWriter) NumFrames() int { return len(cw.offsets) }
+
+// WriteFrame appends one frame. The geometry is pinned: a frame whose
+// bin count differs from the header's is refused.
+func (cw *CaptureWriter) WriteFrame(f Frame) error {
+	if cw.closed {
+		return errors.New("transport: WriteFrame on a closed capture")
+	}
+	if len(f.Bins) != int(cw.hello.NumBins) {
+		return fmt.Errorf("transport: frame has %d bins, capture pins %d", len(f.Bins), cw.hello.NumBins)
+	}
+	if err := cw.enc.Encode(f); err != nil {
+		return err
+	}
+	cw.offsets = append(cw.offsets, cw.off)
+	cw.off += int64(frameWireSize(len(f.Bins)))
+	cw.since++
+	if cw.every > 0 && cw.since >= cw.every {
+		return cw.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint flushes buffered frames to the destination and, when it
+// supports Sync (an *os.File does), forces them to stable storage.
+// After a checkpoint every frame written so far survives a crash: the
+// torn capture loses its footer, not its frames.
+func (cw *CaptureWriter) Checkpoint() error {
+	cw.since = 0
+	if err := cw.enc.Flush(); err != nil {
+		return err
+	}
+	if err := cw.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: checkpoint flush: %w", err)
+	}
+	if cw.sync != nil {
+		if err := cw.sync.Sync(); err != nil {
+			return fmt.Errorf("transport: checkpoint sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close writes the index footer and flushes the capture. The writer is
+// unusable afterwards; the underlying file remains open (the caller
+// owns it). Close is not idempotent: a second call reports an error.
+func (cw *CaptureWriter) Close() error {
+	if cw.closed {
+		return errors.New("transport: capture already closed")
+	}
+	cw.closed = true
+	if err := cw.enc.Flush(); err != nil {
+		return err
+	}
+	footerOff := cw.off
+	footer := make([]byte, captureFooterFixed-4+len(cw.offsets)*8)
+	copy(footer[0:], captureFooter[:])
+	binary.BigEndian.PutUint32(footer[4:], 0)
+	binary.BigEndian.PutUint64(footer[8:], uint64(len(cw.offsets)))
+	for i, off := range cw.offsets {
+		binary.BigEndian.PutUint64(footer[16+i*8:], uint64(off))
+	}
+	var tail [4 + captureTailSize]byte
+	binary.BigEndian.PutUint32(tail[0:], crc32.ChecksumIEEE(footer))
+	binary.BigEndian.PutUint64(tail[4:], uint64(footerOff))
+	copy(tail[12:], captureTrail[:])
+	if _, err := cw.bw.Write(footer); err != nil {
+		return fmt.Errorf("transport: write capture footer: %w", err)
+	}
+	if _, err := cw.bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("transport: write capture trailer: %w", err)
+	}
+	if err := cw.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush capture: %w", err)
+	}
+	if cw.sync != nil {
+		if err := cw.sync.Sync(); err != nil {
+			return fmt.Errorf("transport: sync capture: %w", err)
+		}
+	}
+	return nil
+}
+
+// CaptureReader reads .brc captures — v1 (indexed) and legacy v0
+// (hello + frames) — with torn-write recovery: a file whose footer is
+// missing or damaged, or whose frame stream is cut mid-frame, still
+// yields every intact frame; Truncated reports the damage as an error
+// wrapping ErrTruncatedCapture. Frames are CRC-validated on every
+// read, whether reached sequentially or via the index.
+//
+// The reader is single-goroutine; Next returns a frame whose Bins
+// slice is reused by the following Next or Seek.
+type CaptureReader struct {
+	r      io.ReadSeeker
+	br     *bufio.Reader
+	header CaptureHeader
+
+	offsets []int64
+	indexed bool // offsets came from a valid footer, not a scan
+	trunc   error
+
+	pos     int // frame index the next Next will read
+	aligned bool
+
+	scratchHeader []byte
+	scratchBody   []byte
+	bins          []complex128
+}
+
+// NewCaptureReader opens a capture. The constructor validates the
+// header, then either loads the footer index (fast path) or — when the
+// footer is missing or implausible — rebuilds the index by scanning
+// the frames, recording how far the intact prefix reaches. A file cut
+// before the header is complete cannot be opened and returns an error
+// wrapping ErrTruncatedCapture; anything longer opens with the frames
+// that survived.
+func NewCaptureReader(r io.ReadSeeker) (*CaptureReader, error) {
+	cr := &CaptureReader{
+		r:             r,
+		br:            bufio.NewReader(r),
+		scratchHeader: make([]byte, headerSize),
+	}
+	if err := cr.readHeader(); err != nil {
+		return nil, err
+	}
+	cr.bins = make([]complex128, cr.header.Hello.NumBins)
+	if cr.header.Version >= 1 {
+		if cr.loadFooter() {
+			return cr, nil
+		}
+	}
+	cr.scanIndex()
+	return cr, nil
+}
+
+// Header returns the capture's version, geometry, and start time.
+func (cr *CaptureReader) Header() CaptureHeader { return cr.header }
+
+// NumFrames reports the readable (intact) frame count.
+func (cr *CaptureReader) NumFrames() int { return len(cr.offsets) }
+
+// Indexed reports whether the frame index came from a valid footer
+// (true) or a recovery scan of the frame stream (false).
+func (cr *CaptureReader) Indexed() bool { return cr.indexed }
+
+// Truncated reports whether the capture ends cleanly. A nil return
+// means the file is complete; otherwise the error wraps
+// ErrTruncatedCapture and describes where the damage starts. The
+// intact frames remain fully readable either way.
+func (cr *CaptureReader) Truncated() error { return cr.trunc }
+
+// frameBodyOffset is where frame data begins for this capture version.
+func (cr *CaptureReader) frameBodyOffset() int64 {
+	if cr.header.Version >= 1 {
+		return captureHeaderSize
+	}
+	return helloSize
+}
+
+// readHeader sniffs the version and decodes the file header.
+func (cr *CaptureReader) readHeader() error {
+	if _, err := cr.r.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("transport: seek capture start: %w", err)
+	}
+	cr.br.Reset(cr.r)
+	magic, err := cr.br.Peek(2)
+	if err != nil {
+		return fmt.Errorf("transport: capture too short for any header: %w", ErrTruncatedCapture)
+	}
+	if binary.BigEndian.Uint16(magic) == Magic {
+		// Legacy v0: the file opens with the stream hello.
+		hello, err := DecodeHello(cr.br)
+		if err != nil {
+			return fmt.Errorf("transport: v0 capture hello: %w", err)
+		}
+		cr.header = CaptureHeader{Version: 0, Hello: hello}
+		return nil
+	}
+	var hdr [captureHeaderSize]byte
+	if _, err := io.ReadFull(cr.br, hdr[:]); err != nil {
+		return fmt.Errorf("transport: capture header cut short: %w", ErrTruncatedCapture)
+	}
+	if [8]byte(hdr[0:8]) != captureMagic {
+		return fmt.Errorf("transport: not a capture file (magic %x)", hdr[0:8])
+	}
+	if v := binary.BigEndian.Uint16(hdr[8:]); v != CaptureVersion {
+		return fmt.Errorf("transport: unsupported capture version %d", v)
+	}
+	if got, want := binary.BigEndian.Uint32(hdr[40:]), crc32.ChecksumIEEE(hdr[:40]); got != want {
+		return fmt.Errorf("transport: capture header CRC mismatch %#x != %#x", got, want)
+	}
+	h := StreamHello{
+		NumBins:    binary.BigEndian.Uint32(hdr[12:]),
+		FrameRate:  math.Float64frombits(binary.BigEndian.Uint64(hdr[16:])),
+		BinSpacing: math.Float64frombits(binary.BigEndian.Uint64(hdr[24:])),
+	}
+	if !plausibleHello(h) {
+		return fmt.Errorf("transport: implausible capture geometry %+v", h)
+	}
+	cr.header = CaptureHeader{
+		Version:         CaptureVersion,
+		Hello:           h,
+		StartTimeMicros: binary.BigEndian.Uint64(hdr[32:]),
+	}
+	return nil
+}
+
+// loadFooter tries the indexed fast path: locate the footer from the
+// fixed-size tail, validate its CRC and every offset it holds, and
+// adopt it as the frame index. Any implausibility — short file, bad
+// trailer, bad CRC, out-of-range or non-monotonic offsets — reports
+// false so the caller falls back to the recovery scan; nothing in a
+// damaged footer is trusted.
+func (cr *CaptureReader) loadFooter() bool {
+	size, err := cr.r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return false
+	}
+	body := cr.frameBodyOffset()
+	if size < body+captureFooterFixed+captureTailSize {
+		return false
+	}
+	var tail [captureTailSize]byte
+	if _, err := cr.r.Seek(size-captureTailSize, io.SeekStart); err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return false
+	}
+	if [8]byte(tail[8:16]) != captureTrail {
+		return false
+	}
+	footerOff := int64(binary.BigEndian.Uint64(tail[0:]))
+	// The footer block spans [footerOff, size-tail-4) with its CRC just
+	// after; bound it by the file itself so a hostile offset cannot
+	// trigger an oversized read.
+	blockEnd := size - captureTailSize - 4
+	if footerOff < body || footerOff+captureFooterFixed-4 > blockEnd {
+		return false
+	}
+	block := make([]byte, blockEnd-footerOff)
+	if _, err := cr.r.Seek(footerOff, io.SeekStart); err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(cr.r, block); err != nil {
+		return false
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return false
+	}
+	if binary.BigEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(block) {
+		return false
+	}
+	if [4]byte(block[0:4]) != captureFooter {
+		return false
+	}
+	count := binary.BigEndian.Uint64(block[8:16])
+	if int(count) < 0 || captureFooterFixed-4+int(count)*8 != len(block) {
+		return false
+	}
+	minFrame := int64(frameWireSize(int(cr.header.Hello.NumBins)))
+	offsets := make([]int64, count)
+	prev := body - minFrame
+	for i := range offsets {
+		off := int64(binary.BigEndian.Uint64(block[16+i*8:]))
+		if off < prev+minFrame || off+minFrame > footerOff {
+			return false
+		}
+		offsets[i] = off
+		prev = off
+	}
+	cr.offsets = offsets
+	cr.indexed = true
+	cr.pos, cr.aligned = 0, false
+	return true
+}
+
+// scanIndex rebuilds the frame index by decoding the CRC-framed
+// stream front to back, stopping at the first damage — a cut frame, a
+// corrupt CRC, or the (possibly damaged) footer bytes. Everything
+// before the stop is intact and becomes the readable prefix; unless
+// the stop is a cleanly indexed end of file, Truncated reports it.
+func (cr *CaptureReader) scanIndex() {
+	cr.offsets = cr.offsets[:0]
+	cr.indexed = false
+	body := cr.frameBodyOffset()
+	if _, err := cr.r.Seek(body, io.SeekStart); err != nil {
+		cr.trunc = fmt.Errorf("transport: seek frame body: %w", err)
+		return
+	}
+	cr.br.Reset(cr.r)
+	off := body
+	for {
+		// A complete v1 file ends with the footer; hitting its magic at
+		// a frame boundary is the clean end of the scan.
+		if cr.header.Version >= 1 {
+			if peek, err := cr.br.Peek(4); err == nil && [4]byte(peek[0:4]) == captureFooter {
+				break
+			}
+		}
+		f, n, err := readFrame(cr.br, cr.scratchHeader, &cr.scratchBody, cr.bins, cr.header.Hello.NumBins)
+		if errors.Is(err, io.EOF) {
+			if cr.header.Version >= 1 {
+				// Frames ended without a footer: the Close never landed.
+				cr.trunc = fmt.Errorf("transport: capture footer missing after %d frames: %w",
+					len(cr.offsets), ErrTruncatedCapture)
+			}
+			// A v0 capture has no footer; clean EOF is a clean end.
+			cr.pos, cr.aligned = 0, false
+			return
+		}
+		if err != nil {
+			cr.trunc = fmt.Errorf("transport: capture damaged at frame %d (offset %d): %v: %w",
+				len(cr.offsets), off, err, ErrTruncatedCapture)
+			cr.pos, cr.aligned = 0, false
+			return
+		}
+		cr.offsets = append(cr.offsets, off)
+		off += int64(n)
+		_ = f
+	}
+	// Footer reached by scanning — it exists but failed validation in
+	// loadFooter (or this reader skipped the fast path): the frames are
+	// all intact, the index is not.
+	cr.trunc = fmt.Errorf("transport: capture footer damaged after %d frames: %w",
+		len(cr.offsets), ErrTruncatedCapture)
+	cr.pos, cr.aligned = 0, false
+}
+
+// Seek positions the reader so the next Next returns frame k. Seeking
+// to NumFrames is allowed and parks the reader at end of capture.
+func (cr *CaptureReader) Seek(k int) error {
+	if k < 0 || k > len(cr.offsets) {
+		return fmt.Errorf("transport: seek to frame %d of %d", k, len(cr.offsets))
+	}
+	cr.pos = k
+	cr.aligned = false
+	return nil
+}
+
+// Next returns the next frame in sequence, or io.EOF past the last
+// intact frame. The returned Bins slice is owned by the reader and
+// overwritten by the following Next; callers that keep frames copy
+// them. Every frame is CRC-validated as it is read.
+//
+//blinkradar:hotpath
+func (cr *CaptureReader) Next() (Frame, error) {
+	if cr.pos >= len(cr.offsets) {
+		return Frame{}, io.EOF
+	}
+	if !cr.aligned {
+		if err := cr.align(); err != nil {
+			return Frame{}, err
+		}
+	}
+	f, _, err := readFrame(cr.br, cr.scratchHeader, &cr.scratchBody, cr.bins, cr.header.Hello.NumBins)
+	if err != nil {
+		// Only reachable when a (CRC-valid) footer pointed at bytes that
+		// do not decode — treat it like any other tail damage.
+		cr.aligned = false
+		return Frame{}, errIndexedFrame(cr.pos, err)
+	}
+	cr.pos++
+	return f, nil
+}
+
+// align seeks the underlying reader to the current frame offset.
+//
+//blinkradar:coldpath
+func (cr *CaptureReader) align() error {
+	if _, err := cr.r.Seek(cr.offsets[cr.pos], io.SeekStart); err != nil {
+		return fmt.Errorf("transport: seek frame %d: %w", cr.pos, err)
+	}
+	cr.br.Reset(cr.r)
+	cr.aligned = true
+	return nil
+}
+
+//blinkradar:coldpath
+func errIndexedFrame(k int, err error) error {
+	return fmt.Errorf("transport: indexed frame %d does not decode: %v: %w", k, err, ErrTruncatedCapture)
+}
+
+// ReadMatrix decodes every intact frame into a frame matrix. It
+// rewinds first, so it can be called at any point; a capture holding
+// no intact frames is an error. Timestamps are not carried over — the
+// matrix derives slow time from its frame rate, which is exact for
+// radarsim captures and a documented approximation for chaos-damaged
+// ones (dropped frames compress the timeline).
+func (cr *CaptureReader) ReadMatrix() (*rf.FrameMatrix, error) {
+	return cr.ReadMatrixFrom(0)
+}
+
+// ReadMatrixFrom is ReadMatrix starting at frame index start (seek via
+// the index, then sequential decode to the end of the intact frames).
+func (cr *CaptureReader) ReadMatrixFrom(start int) (*rf.FrameMatrix, error) {
+	if start < 0 || start >= len(cr.offsets) {
+		return nil, fmt.Errorf("transport: start frame %d outside the %d intact frames", start, len(cr.offsets))
+	}
+	if err := cr.Seek(start); err != nil {
+		return nil, err
+	}
+	h := cr.header.Hello
+	m, err := rf.NewFrameMatrix(len(cr.offsets)-start, int(h.NumBins), h.FrameRate, h.BinSpacing)
+	if err != nil {
+		return nil, err
+	}
+	for k := range m.Data {
+		f, err := cr.Next()
+		if err != nil {
+			return nil, err
+		}
+		copy(m.Data[k], f.Bins)
+	}
+	return m, nil
+}

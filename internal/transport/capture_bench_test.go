@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// BenchmarkReplay measures the capture replay hot path — the per-frame
+// cost radard and radarfleet pay to serve a recorded stream at 100×
+// realtime: Seek to the start of the capture, then decode every frame
+// through CaptureReader.Next. Steady state must be allocation-free
+// (the reader decodes into persistent geometry-sized scratch), which
+// the benchdiff gate pins at 0 allocs/op.
+func BenchmarkReplay(b *testing.B) {
+	const frames, bins = 1024, 40
+	hello := StreamHello{FrameRate: 25, BinSpacing: 0.0107, NumBins: bins}
+	var buf bytes.Buffer
+	cw, err := NewCaptureWriter(&buf, hello, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < frames; k++ {
+		if err := cw.WriteFrame(testFrame(k, bins)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	cr, err := NewCaptureReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay := func() {
+		if err := cr.Seek(0); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := cr.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	replay() // warm the decode scratch before counting allocations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.ReportMetric(float64(frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}

@@ -1,0 +1,431 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"blinkradar/internal/rf"
+)
+
+// testHello is the geometry used by most capture tests.
+var testHello = StreamHello{FrameRate: 25, BinSpacing: 0.0107, NumBins: 8}
+
+// testFrame builds frame k with float32-exact samples, so comparisons
+// after the float32 wire round trip are bit-exact.
+func testFrame(k int, bins int) Frame {
+	f := Frame{Seq: uint64(k), TimestampMicros: uint64(k * 40000)}
+	f.Bins = make([]complex128, bins)
+	for i := range f.Bins {
+		f.Bins[i] = complex(float64(k*bins+i), float64(-i))
+	}
+	return f
+}
+
+// writeTestCapture builds a finished v1 capture with n frames.
+func writeTestCapture(tb testing.TB, hello StreamHello, n int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	cw, err := NewCaptureWriter(&buf, hello, 1700000000000000)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		if err := cw.WriteFrame(testFrame(k, int(hello.NumBins))); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkFrames reads the capture front to back and verifies it yields
+// exactly frames 0..want-1, each bit-exact, then a clean io.EOF.
+func checkFrames(t *testing.T, cr *CaptureReader, want int) {
+	t.Helper()
+	if cr.NumFrames() != want {
+		t.Fatalf("NumFrames = %d, want %d", cr.NumFrames(), want)
+	}
+	if err := cr.Seek(0); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < want; k++ {
+		f, err := cr.Next()
+		if err != nil {
+			t.Fatalf("Next at frame %d: %v", k, err)
+		}
+		ref := testFrame(k, int(cr.Header().Hello.NumBins))
+		if f.Seq != ref.Seq || f.TimestampMicros != ref.TimestampMicros {
+			t.Fatalf("frame %d header mismatch: %+v", k, f)
+		}
+		for i := range ref.Bins {
+			if f.Bins[i] != ref.Bins[i] {
+				t.Fatalf("frame %d bin %d = %v, want %v", k, i, f.Bins[i], ref.Bins[i])
+			}
+		}
+	}
+	if _, err := cr.Next(); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+func TestCaptureRoundTripV1(t *testing.T) {
+	const n = 17
+	data := writeTestCapture(t, testHello, n)
+	cr, err := NewCaptureReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cr.Header()
+	if h.Version != CaptureVersion {
+		t.Fatalf("Version = %d, want %d", h.Version, CaptureVersion)
+	}
+	if h.Hello != testHello {
+		t.Fatalf("Hello = %+v, want %+v", h.Hello, testHello)
+	}
+	if h.StartTimeMicros != 1700000000000000 {
+		t.Fatalf("StartTimeMicros = %d", h.StartTimeMicros)
+	}
+	if !cr.Indexed() {
+		t.Fatal("complete capture should load its footer index")
+	}
+	if err := cr.Truncated(); err != nil {
+		t.Fatalf("complete capture reports truncation: %v", err)
+	}
+	checkFrames(t, cr, n)
+}
+
+func TestCaptureSeek(t *testing.T) {
+	const n = 12
+	data := writeTestCapture(t, testHello, n)
+	cr, err := NewCaptureReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{5, 0, 11, 3, 3} {
+		if err := cr.Seek(k); err != nil {
+			t.Fatal(err)
+		}
+		f, err := cr.Next()
+		if err != nil {
+			t.Fatalf("Next after Seek(%d): %v", k, err)
+		}
+		if f.Seq != uint64(k) {
+			t.Fatalf("Seek(%d) landed on seq %d", k, f.Seq)
+		}
+		// Sequential read continues from there.
+		if k+1 < n {
+			f, err = cr.Next()
+			if err != nil || f.Seq != uint64(k+1) {
+				t.Fatalf("sequential Next after Seek(%d): seq %d, err %v", k, f.Seq, err)
+			}
+		}
+	}
+	if err := cr.Seek(n); err != nil {
+		t.Fatalf("Seek to end: %v", err)
+	}
+	if _, err := cr.Next(); err != io.EOF {
+		t.Fatalf("Next at end = %v, want io.EOF", err)
+	}
+	if err := cr.Seek(-1); err == nil {
+		t.Fatal("Seek(-1) should fail")
+	}
+	if err := cr.Seek(n + 1); err == nil {
+		t.Fatal("Seek past end should fail")
+	}
+}
+
+// TestCaptureReaderV0 loads a legacy hello+frames capture through the
+// new reader.
+func TestCaptureReaderV0(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeHello(&buf, testHello); err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(&buf)
+	const n = 9
+	for k := 0; k < n; k++ {
+		if err := enc.Encode(testFrame(k, int(testHello.NumBins))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewCaptureReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Header().Version != 0 {
+		t.Fatalf("Version = %d, want 0", cr.Header().Version)
+	}
+	if cr.Header().Hello != testHello {
+		t.Fatalf("Hello = %+v", cr.Header().Hello)
+	}
+	if err := cr.Truncated(); err != nil {
+		t.Fatalf("clean v0 capture reports truncation: %v", err)
+	}
+	if cr.Indexed() {
+		t.Fatal("v0 capture has no footer to be Indexed by")
+	}
+	checkFrames(t, cr, n)
+}
+
+// TestCaptureTruncationEveryByte is the boundary-cut matrix from the
+// issue, taken to its limit: the capture is cut at every byte offset —
+// mid-header, every mid-frame position, every mid-footer position —
+// and the reader must recover exactly the intact frame prefix with
+// ErrTruncatedCapture. Cuts inside the file header cannot even
+// identify the capture and fail to open, still with the typed error.
+func TestCaptureTruncationEveryByte(t *testing.T) {
+	const n = 6
+	data := writeTestCapture(t, testHello, n)
+	frameSize := frameWireSize(int(testHello.NumBins))
+	for cut := 0; cut < len(data); cut++ {
+		cr, err := NewCaptureReader(bytes.NewReader(data[:cut]))
+		if cut < captureHeaderSize {
+			if err == nil {
+				t.Fatalf("cut %d: opened a capture with no complete header", cut)
+			}
+			if !errors.Is(err, ErrTruncatedCapture) {
+				t.Fatalf("cut %d: open error %v does not wrap ErrTruncatedCapture", cut, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: open failed: %v", cut, err)
+		}
+		wantFrames := (cut - captureHeaderSize) / frameSize
+		if wantFrames > n {
+			wantFrames = n
+		}
+		terr := cr.Truncated()
+		if terr == nil {
+			t.Fatalf("cut %d: truncated capture reports clean", cut)
+		}
+		if !errors.Is(terr, ErrTruncatedCapture) {
+			t.Fatalf("cut %d: %v does not wrap ErrTruncatedCapture", cut, terr)
+		}
+		checkFrames(t, cr, wantFrames)
+	}
+	// And the uncut file is clean — the loop's asymmetry is real.
+	cr, err := NewCaptureReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Truncated(); err != nil {
+		t.Fatalf("uncut capture reports truncation: %v", err)
+	}
+	checkFrames(t, cr, n)
+}
+
+// TestCaptureFooterCorruption damages the index while leaving every
+// frame intact: the reader must fall back to the scan, recover all
+// frames, and still flag the file.
+func TestCaptureFooterCorruption(t *testing.T) {
+	const n = 10
+	data := writeTestCapture(t, testHello, n)
+	frameEnd := captureHeaderSize + n*frameWireSize(int(testHello.NumBins))
+	for _, off := range []int{frameEnd + 9, len(data) - 20, len(data) - 1} {
+		corrupt := append([]byte{}, data...)
+		corrupt[off] ^= 0xff
+		cr, err := NewCaptureReader(bytes.NewReader(corrupt))
+		if err != nil {
+			t.Fatalf("flip at %d: open failed: %v", off, err)
+		}
+		if cr.Indexed() {
+			t.Fatalf("flip at %d: damaged footer was trusted", off)
+		}
+		if terr := cr.Truncated(); !errors.Is(terr, ErrTruncatedCapture) {
+			t.Fatalf("flip at %d: Truncated = %v", off, terr)
+		}
+		checkFrames(t, cr, n)
+	}
+}
+
+// TestCaptureIndexedFrameCorruption damages one frame's payload while
+// the footer stays valid: the index loads, the reader serves frames up
+// to the damage, and the damaged frame surfaces as a typed error at
+// read time (CRC validation runs on the indexed path too).
+func TestCaptureIndexedFrameCorruption(t *testing.T) {
+	const n, bad = 8, 4
+	data := writeTestCapture(t, testHello, n)
+	frameSize := frameWireSize(int(testHello.NumBins))
+	corrupt := append([]byte{}, data...)
+	corrupt[captureHeaderSize+bad*frameSize+headerSize+2] ^= 0xff
+	cr, err := NewCaptureReader(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Indexed() {
+		t.Fatal("footer is intact; the index should load")
+	}
+	for k := 0; k < bad; k++ {
+		if _, err := cr.Next(); err != nil {
+			t.Fatalf("intact frame %d: %v", k, err)
+		}
+	}
+	if _, err := cr.Next(); !errors.Is(err, ErrTruncatedCapture) {
+		t.Fatalf("damaged frame read = %v, want ErrTruncatedCapture", err)
+	}
+}
+
+// TestCaptureCrashBeforeClose simulates the torn-write case the format
+// exists for: frames checkpointed to disk, process dies before Close
+// ever writes the footer. Every checkpointed frame must be served.
+func TestCaptureCrashBeforeClose(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewCaptureWriter(&buf, testHello, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.SetCheckpointEvery(2)
+	const n = 7
+	for k := 0; k < n; k++ {
+		if err := cw.WriteFrame(testFrame(k, int(testHello.NumBins))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: buf holds header + frames, no footer.
+	cr, err := NewCaptureReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terr := cr.Truncated(); !errors.Is(terr, ErrTruncatedCapture) {
+		t.Fatalf("footerless capture Truncated = %v", terr)
+	}
+	checkFrames(t, cr, n)
+}
+
+func TestCaptureWriterContracts(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewCaptureWriter(&buf, testHello, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteFrame(testFrame(0, 5)); err == nil {
+		t.Fatal("frame with wrong geometry accepted")
+	}
+	if err := cw.WriteFrame(testFrame(0, int(testHello.NumBins))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.WriteFrame(testFrame(1, int(testHello.NumBins))); err == nil {
+		t.Fatal("WriteFrame after Close accepted")
+	}
+	if err := cw.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+	if _, err := NewCaptureWriter(&buf, StreamHello{}, 0); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+// TestCaptureReadMatrix checks the matrix convenience against the v0
+// writer's output and a v1 capture of the same frames.
+func TestCaptureReadMatrix(t *testing.T) {
+	m, err := rf.NewFrameMatrix(20, 8, 25, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.Data {
+		for i := range m.Data[k] {
+			m.Data[k][i] = complex(float64(k), float64(i))
+		}
+	}
+	var v0 bytes.Buffer
+	if err := WriteCapture(&v0, m); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"v0": v0.Bytes()} {
+		cr, err := NewCaptureReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := cr.ReadMatrix()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NumFrames() != m.NumFrames() || got.NumBins() != m.NumBins() {
+			t.Fatalf("%s: matrix is %dx%d, want %dx%d", name, got.NumFrames(), got.NumBins(), m.NumFrames(), m.NumBins())
+		}
+		if got.FrameRate != m.FrameRate || got.BinSpacing != m.BinSpacing {
+			t.Fatalf("%s: geometry %v/%v", name, got.FrameRate, got.BinSpacing)
+		}
+		for k := range m.Data {
+			for i := range m.Data[k] {
+				if got.Data[k][i] != m.Data[k][i] {
+					t.Fatalf("%s: [%d][%d] = %v, want %v", name, k, i, got.Data[k][i], m.Data[k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestWriteCaptureTimestampRounding is the regression test for the
+// floor-vs-round bug: at a non-integer frame period (30 fps → 33333.3µs)
+// flooring drifts odd frames 1µs early against the FrameTime grid.
+func TestWriteCaptureTimestampRounding(t *testing.T) {
+	if got := TimestampMicros(2.0 / 30.0); got != 66667 {
+		t.Fatalf("TimestampMicros(2/30) = %d, want 66667 (floor would give 66666)", got)
+	}
+	if got := TimestampMicros(0.04); got != 40000 {
+		t.Fatalf("TimestampMicros(0.04) = %d, want 40000", got)
+	}
+	m, err := rf.NewFrameMatrix(10, 4, 30, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewCaptureReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < cr.NumFrames(); k++ {
+		f, err := cr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(math.Round(m.FrameTime(k) * 1e6))
+		if f.TimestampMicros != want {
+			t.Fatalf("frame %d timestamp %dµs, want %dµs (drift %d)", k, f.TimestampMicros, want, int64(f.TimestampMicros)-int64(want))
+		}
+	}
+}
+
+// TestReadCaptureV0AllOrError pins the legacy reader's contract: any
+// damage fails the whole read — no partial recovery on that path.
+func TestReadCaptureV0AllOrError(t *testing.T) {
+	m, err := rf.NewFrameMatrix(10, 4, 25, 0.0107)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadCapture(bytes.NewReader(data)); err != nil {
+		t.Fatalf("clean capture: %v", err)
+	}
+	if _, err := ReadCapture(bytes.NewReader(data[:len(data)-7])); err == nil {
+		t.Fatal("torn v0 capture must fail ReadCapture wholesale")
+	}
+	corrupt := append([]byte{}, data...)
+	corrupt[helloSize+headerSize+1] ^= 0xff
+	if _, err := ReadCapture(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt v0 capture must fail ReadCapture wholesale")
+	}
+}

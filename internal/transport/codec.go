@@ -269,40 +269,61 @@ func (d *Decoder) seekMagic() error {
 
 // decodeOnce reads one frame at the current stream position.
 func (d *Decoder) decodeOnce() (Frame, error) {
-	header := d.header
-	if _, err := io.ReadFull(d.r, header); err != nil {
+	f, _, err := readFrame(d.r, d.header, &d.buf, nil, d.expectBins)
+	return f, err
+}
+
+// frameWireSize is the encoded size of a frame with n bins.
+func frameWireSize(n int) int { return headerSize + n*8 + 4 }
+
+// readFrame decodes one CRC-framed frame from r at its current
+// position, using the caller's scratch: header must be headerSize
+// bytes, *payload is grown as needed, and bins — when its capacity
+// suffices — receives the samples without allocating (pass nil to
+// always allocate fresh bins). It reports the number of wire bytes
+// consumed by a successful decode; decode failures return the same
+// error classes as Decoder.Decode (io.EOF at a clean boundary,
+// ErrCorruptFrame wrapping for framing damage, plain errors for I/O
+// truncation mid-frame).
+//
+//blinkradar:hotpath
+func readFrame(r io.Reader, header []byte, payload *[]byte, bins []complex128, expectBins uint32) (Frame, int, error) {
+	if _, err := io.ReadFull(r, header); err != nil {
 		if err == io.EOF {
-			return Frame{}, io.EOF
+			return Frame{}, 0, io.EOF
 		}
-		return Frame{}, fmt.Errorf("transport: read header: %w", err)
+		return Frame{}, 0, errReadHeader(err)
 	}
 	if m := binary.BigEndian.Uint16(header[0:]); m != Magic {
-		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrCorruptFrame, m)
+		return Frame{}, 0, errBadMagic(m)
 	}
 	if v := header[2]; v != Version {
-		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrCorruptFrame, v)
+		return Frame{}, 0, errBadVersion(v)
 	}
 	n := binary.BigEndian.Uint32(header[20:])
-	if n == 0 || n > MaxBins || (d.expectBins != 0 && n != d.expectBins) {
-		return Frame{}, fmt.Errorf("%w: implausible bin count %d", ErrCorruptFrame, n)
+	if n == 0 || n > MaxBins || (expectBins != 0 && n != expectBins) {
+		return Frame{}, 0, errBadBinCount(n)
 	}
-	payload := int(n)*8 + 4
-	if cap(d.buf) < payload {
-		d.buf = make([]byte, payload)
+	size := int(n)*8 + 4
+	if cap(*payload) < size {
+		*payload = make([]byte, size) //blinkvet:ignore hotpathalloc -- scratch growth is amortised: the payload buffer is reused across frames
 	}
-	body := d.buf[:payload]
-	if _, err := io.ReadFull(d.r, body); err != nil {
-		return Frame{}, fmt.Errorf("transport: read payload: %w", err)
+	body := (*payload)[:size]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, 0, errReadPayload(err)
 	}
 	crc := crc32.ChecksumIEEE(header)
 	crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-4])
 	if got := binary.BigEndian.Uint32(body[len(body)-4:]); got != crc {
-		return Frame{}, fmt.Errorf("%w: CRC mismatch %#x != %#x", ErrCorruptFrame, got, crc)
+		return Frame{}, 0, errBadCRC(got, crc)
+	}
+	if cap(bins) < int(n) {
+		bins = make([]complex128, n) //blinkvet:ignore hotpathalloc -- grow-once: callers pass a geometry-sized buffer (or nil to opt into allocation)
 	}
 	f := Frame{
 		Seq:             binary.BigEndian.Uint64(header[4:]),
 		TimestampMicros: binary.BigEndian.Uint64(header[12:]),
-		Bins:            make([]complex128, n),
+		Bins:            bins[:n],
 	}
 	off := 0
 	for i := range f.Bins {
@@ -311,5 +332,31 @@ func (d *Decoder) decodeOnce() (Frame, error) {
 		f.Bins[i] = complex(float64(re), float64(im))
 		off += 8
 	}
-	return f, nil
+	return f, frameWireSize(int(n)), nil
+}
+
+// Cold error constructors, hoisted off the decode hot path.
+
+//blinkradar:coldpath
+func errReadHeader(err error) error { return fmt.Errorf("transport: read header: %w", err) }
+
+//blinkradar:coldpath
+func errBadMagic(m uint16) error { return fmt.Errorf("%w: bad magic %#x", ErrCorruptFrame, m) }
+
+//blinkradar:coldpath
+func errBadVersion(v uint8) error {
+	return fmt.Errorf("%w: unsupported version %d", ErrCorruptFrame, v)
+}
+
+//blinkradar:coldpath
+func errBadBinCount(n uint32) error {
+	return fmt.Errorf("%w: implausible bin count %d", ErrCorruptFrame, n)
+}
+
+//blinkradar:coldpath
+func errReadPayload(err error) error { return fmt.Errorf("transport: read payload: %w", err) }
+
+//blinkradar:coldpath
+func errBadCRC(got, want uint32) error {
+	return fmt.Errorf("%w: CRC mismatch %#x != %#x", ErrCorruptFrame, got, want)
 }

@@ -4,13 +4,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"blinkradar/internal/rf"
 )
 
-// WriteCapture serialises a frame matrix to w in the wire format
-// (hello followed by encoded frames). It is the storage format of
-// cmd/radarsim.
+// TimestampMicros converts a time in seconds to microseconds, rounding
+// half-up. Truncation here is not harmless: at a non-integer frame
+// rate, flooring drifts frame timestamps by up to 1µs against the
+// FrameTime grid, so a write→read round-trip no longer reproduces the
+// recorded clock.
+func TimestampMicros(sec float64) uint64 {
+	return uint64(math.Round(sec * 1e6))
+}
+
+// WriteCapture serialises a frame matrix to w in the legacy v0 capture
+// format: a stream hello followed by encoded frames, with no index and
+// no recovery metadata. New captures should use CaptureWriter (the
+// indexed .brc v1 format in capture.go); this writer remains for
+// compatibility tooling and tests.
 func WriteCapture(w io.Writer, m *rf.FrameMatrix) error {
 	if err := EncodeHello(w, StreamHello{
 		FrameRate:  m.FrameRate,
@@ -23,7 +35,7 @@ func WriteCapture(w io.Writer, m *rf.FrameMatrix) error {
 	for k, frame := range m.Data {
 		err := enc.Encode(Frame{
 			Seq:             uint64(k),
-			TimestampMicros: uint64(m.FrameTime(k) * 1e6),
+			TimestampMicros: TimestampMicros(m.FrameTime(k)),
 			Bins:            frame,
 		})
 		if err != nil {
@@ -33,7 +45,10 @@ func WriteCapture(w io.Writer, m *rf.FrameMatrix) error {
 	return enc.Flush()
 }
 
-// ReadCapture parses a capture file back into a frame matrix.
+// ReadCapture parses a legacy v0 capture back into a frame matrix. It
+// is deliberately all-or-error: any damage anywhere in the file fails
+// the whole read. Use CaptureReader for torn-write recovery and for
+// v1 files.
 func ReadCapture(r io.Reader) (*rf.FrameMatrix, error) {
 	hello, err := DecodeHello(r)
 	if err != nil {

@@ -27,7 +27,9 @@ type Backoff struct {
 	Jitter float64
 }
 
-func (b Backoff) withDefaults() Backoff {
+// WithDefaults fills unset fields with the production schedule:
+// 200 ms initial, 5 s cap, doubling, ±20% jitter.
+func (b Backoff) WithDefaults() Backoff {
 	if b.Initial <= 0 {
 		b.Initial = 200 * time.Millisecond
 	}
@@ -41,6 +43,25 @@ func (b Backoff) withDefaults() Backoff {
 		b.Jitter = 0.2
 	}
 	return b
+}
+
+// Next grows one delay toward the cap. The progression is
+// deterministic; randomisation happens per-sleep in Jittered.
+func (b Backoff) Next(d time.Duration) time.Duration {
+	next := time.Duration(float64(d) * b.Multiplier)
+	if next > b.Max {
+		next = b.Max
+	}
+	return next
+}
+
+// Jittered randomises d by ±Jitter using rng (nil returns d unchanged,
+// as does a zero Jitter). Callers own the rng's synchronisation.
+func (b Backoff) Jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if b.Jitter <= 0 || rng == nil {
+		return d
+	}
+	return time.Duration(float64(d) * (1 - b.Jitter + 2*b.Jitter*rng.Float64()))
 }
 
 // ReconnectConfig tunes a ReconnectingClient. The zero value is usable:
@@ -150,7 +171,7 @@ type ReconnectingClient struct {
 // NewReconnectingClient builds a reconnecting consumer of the radar
 // stream at addr. Run does the dialling; nothing connects until then.
 func NewReconnectingClient(addr string, cfg ReconnectConfig) *ReconnectingClient {
-	cfg.Backoff = cfg.Backoff.withDefaults()
+	cfg.Backoff = cfg.Backoff.WithDefaults()
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 3 * time.Second
 	}
@@ -357,23 +378,14 @@ func (rc *ReconnectingClient) sleep(ctx context.Context, d time.Duration) error 
 	}
 }
 
-// jittered randomises d by ±Jitter.
+// jittered randomises d by ±Jitter under the client's rng lock.
 func (rc *ReconnectingClient) jittered(d time.Duration) time.Duration {
-	j := rc.cfg.Backoff.Jitter
-	if j <= 0 {
-		return d
-	}
 	rc.mu.Lock()
-	f := rc.rng.Float64()
-	rc.mu.Unlock()
-	return time.Duration(float64(d) * (1 - j + 2*j*f))
+	defer rc.mu.Unlock()
+	return rc.cfg.Backoff.Jittered(d, rc.rng)
 }
 
 // nextBackoff grows the delay toward the cap.
 func (rc *ReconnectingClient) nextBackoff(d time.Duration) time.Duration {
-	next := time.Duration(float64(d) * rc.cfg.Backoff.Multiplier)
-	if next > rc.cfg.Backoff.Max {
-		next = rc.cfg.Backoff.Max
-	}
-	return next
+	return rc.cfg.Backoff.Next(d)
 }
