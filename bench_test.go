@@ -366,7 +366,43 @@ func BenchmarkScenarioGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectorFeedFrame times the production per-frame cost: the
+// wire codec decodes float32 I/Q planes and the fleet path feeds them
+// straight through FeedPlanes, so the planes are pre-split outside the
+// timed loop exactly as DecodePlanes would hand them over. The legacy
+// complex boundary (which pays an extra narrowing copy) is measured
+// separately by BenchmarkDetectorFeedComplex.
 func BenchmarkDetectorFeedFrame(b *testing.B) {
+	capture := benchCapture(b, 120)
+	det, err := blinkradar.NewDetector(benchCfg, capture.Frames.NumBins(), capture.Frames.FrameRate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := capture.Frames.Data
+	bins := capture.Frames.NumBins()
+	planeI := make([][]float32, len(frames))
+	planeQ := make([][]float32, len(frames))
+	for k, frame := range frames {
+		planeI[k] = make([]float32, bins)
+		planeQ[k] = make([]float32, bins)
+		for i, z := range frame {
+			planeI[k][i] = float32(real(z))
+			planeQ[k][i] = float32(imag(z))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(frames)
+		if _, _, err := det.FeedPlanes(planeI[k], planeQ[k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorFeedComplex is the compatibility []complex128 Feed
+// boundary: FeedPlanes plus one narrowing split of the frame.
+func BenchmarkDetectorFeedComplex(b *testing.B) {
 	capture := benchCapture(b, 120)
 	det, err := blinkradar.NewDetector(benchCfg, capture.Frames.NumBins(), capture.Frames.FrameRate)
 	if err != nil {
@@ -377,6 +413,30 @@ func BenchmarkDetectorFeedFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := det.Feed(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusedCascade isolates the fused float32 Fig. 7 kernel (the
+// folded Hamming FIR with the in-line ring moving average) on one
+// 2048-sample profile — the same shape Fig7NoiseReduction pushes
+// through the float64 reference cascade.
+func BenchmarkFusedCascade(b *testing.B) {
+	_, noisy := experiments.Fig7Waveforms(1)
+	fused, err := dsp.NewFusedCascade(26, 0.04, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float32, len(noisy))
+	for i, v := range noisy {
+		x[i] = float32(v)
+	}
+	dst := make([]float32, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fused.ApplyInto32(dst, x); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,9 +17,17 @@
 //
 // Alongside allocs/op the parser records ns/op, and -json writes every
 // parsed benchmark to a baseline file. Committed baselines (BENCH_*.json)
-// document each PR's measured figures; the timing numbers are
-// machine-dependent and deliberately not gated, only the allocation
-// counts are.
+// document each PR's measured figures.
+//
+// Timing is gated loosely: with -baseline pointing at a committed
+// BENCH_*.json and -nsratio R, every benchmark in the baseline must run
+// within R times its recorded ns/op (and must be present, so renames
+// cannot disarm the gate). The ratio is deliberately generous — the
+// baseline machine and the CI runner differ, and wall time is noisy —
+// so this is a tripwire for order-of-magnitude regressions (an
+// accidental O(n²), a debug path left enabled, a -benchtime=1x cold
+// artifact), not a precision gate. Allocation budgets (-max) remain
+// exact.
 package main
 
 import (
@@ -70,10 +78,16 @@ func main() {
 	lim := budgets{}
 	input := flag.String("input", "bench.txt", "benchmark output to check (- for stdin)")
 	jsonOut := flag.String("json", "", "write parsed results to this JSON baseline file")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to gate ns/op against")
+	nsRatio := flag.Float64("nsratio", 0, "fail when ns/op exceeds this multiple of the baseline (requires -baseline)")
 	flag.Var(lim, "max", "allocation budget Name=N (repeatable)")
 	flag.Parse()
-	if len(lim) == 0 && *jsonOut == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: no -max budgets or -json output given")
+	if len(lim) == 0 && *jsonOut == "" && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: no -max budgets, -baseline, or -json output given")
+		os.Exit(2)
+	}
+	if (*baseline == "") != (*nsRatio <= 0) {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -nsratio must be given together")
 		os.Exit(2)
 	}
 	r := io.Reader(os.Stdin)
@@ -99,6 +113,18 @@ func main() {
 		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(results), *jsonOut)
 	}
 	violations := check(results, lim)
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		nsViolations, report := checkTiming(results, base, *nsRatio)
+		for _, line := range report {
+			fmt.Println("benchdiff:", line)
+		}
+		violations = append(violations, nsViolations...)
+	}
 	for name, res := range results {
 		if limit, ok := lim[name]; ok {
 			fmt.Printf("benchdiff: %s: %d allocs/op (budget %d), %.0f ns/op\n",
@@ -176,6 +202,52 @@ func writeBaseline(path string, results map[string]result) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readBaseline loads a committed BENCH_*.json baseline.
+func readBaseline(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base map[string]result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %v", path, err)
+	}
+	return base, nil
+}
+
+// checkTiming compares each baseline benchmark's ns/op against the
+// measured results: missing benchmarks and runs slower than
+// ratio × baseline are violations. Benchmarks measured but absent from
+// the baseline pass silently (new benchmarks gate from the next
+// committed baseline on). Zero-ns baseline entries are skipped — there
+// is no meaningful ratio against zero.
+func checkTiming(results, base map[string]result, ratio float64) (violations, report []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		res, ok := results[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("benchmark %s in baseline but not in input", name))
+			continue
+		}
+		limit := ratio * b.NsPerOp
+		report = append(report, fmt.Sprintf("%s: %.0f ns/op (baseline %.0f, limit %.0fx = %.0f)",
+			name, res.NsPerOp, b.NsPerOp, ratio, limit))
+		if res.NsPerOp > limit {
+			violations = append(violations, fmt.Sprintf("%s: %.0f ns/op exceeds %.0fx baseline %.0f",
+				name, res.NsPerOp, ratio, b.NsPerOp))
+		}
+	}
+	return violations, report
 }
 
 // normalize strips the Benchmark prefix and the -GOMAXPROCS suffix:

@@ -146,3 +146,66 @@ func TestNormalize(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckTimingWithinRatio(t *testing.T) {
+	results := map[string]result{
+		"Fig7NoiseReduction": {NsPerOp: 30000, AllocsPerOp: 0},
+		"NewBenchmark":       {NsPerOp: 1e9, AllocsPerOp: 0},
+	}
+	base := map[string]result{
+		"Fig7NoiseReduction": {NsPerOp: 17000, AllocsPerOp: 0},
+	}
+	violations, report := checkTiming(results, base, 4)
+	if len(violations) != 0 {
+		t.Errorf("unexpected violations: %v", violations)
+	}
+	// Benchmarks absent from the baseline (NewBenchmark) pass silently.
+	if len(report) != 1 || !strings.Contains(report[0], "Fig7NoiseReduction") {
+		t.Errorf("want one report line for the gated benchmark, got %v", report)
+	}
+}
+
+func TestCheckTimingOverRatio(t *testing.T) {
+	results := map[string]result{"Fig7NoiseReduction": {NsPerOp: 90000}}
+	base := map[string]result{"Fig7NoiseReduction": {NsPerOp: 17000}}
+	violations, _ := checkTiming(results, base, 4)
+	if len(violations) != 1 || !strings.Contains(violations[0], "exceeds 4x baseline") {
+		t.Errorf("want one exceeds-baseline violation, got %v", violations)
+	}
+}
+
+func TestCheckTimingMissingBenchmark(t *testing.T) {
+	// A baseline entry with no measurement is a violation: renaming or
+	// dropping a benchmark must not silently disarm the timing gate.
+	base := map[string]result{"Fig7NoiseReduction": {NsPerOp: 17000}}
+	violations, _ := checkTiming(map[string]result{}, base, 4)
+	if len(violations) != 1 || !strings.Contains(violations[0], "not in input") {
+		t.Errorf("want one missing-benchmark violation, got %v", violations)
+	}
+}
+
+func TestCheckTimingSkipsZeroBaseline(t *testing.T) {
+	base := map[string]result{"Weird": {NsPerOp: 0}}
+	violations, report := checkTiming(map[string]result{}, base, 4)
+	if len(violations) != 0 || len(report) != 0 {
+		t.Errorf("zero-ns baseline entries must be skipped, got %v %v", violations, report)
+	}
+}
+
+func TestReadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	results := map[string]result{"X": {NsPerOp: 42, AllocsPerOp: 3}}
+	if err := writeBaseline(path, results); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["X"] != results["X"] {
+		t.Errorf("got %+v, want %+v", back["X"], results["X"])
+	}
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("want error for missing baseline file")
+	}
+}

@@ -1,0 +1,66 @@
+// Command goldengen regenerates testdata/golden_events.json, the
+// end-to-end blink-event fixtures enforced by golden_test.go. Run it
+// from the repo root and redirect stdout over the fixture file ONLY
+// when the detector's observable behaviour is meant to change; the
+// fixtures exist to prove refactors keep events bit-stable.
+//
+//	go run ./cmd/goldengen > testdata/golden_events.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"blinkradar"
+	"blinkradar/internal/core"
+)
+
+type fixture struct {
+	Name     string            `json:"name"`
+	Seed     int64             `json:"seed"`
+	Duration float64           `json:"duration_sec"`
+	Subject  int               `json:"subject"`
+	Drowsy   bool              `json:"drowsy"`
+	EyeBin   int               `json:"eye_bin"`
+	Events   []core.BlinkEvent `json:"events"`
+}
+
+func main() {
+	cfg := core.DefaultConfig()
+	var out []fixture
+	for _, fx := range []fixture{
+		{Name: "fig7-awake", Seed: 7, Duration: 60, Subject: 1},
+		{Name: "fig10-low-blink", Seed: 10, Duration: 45, Subject: 3},
+		{Name: "drowsy-long", Seed: 21, Duration: 90, Subject: 2, Drowsy: true},
+	} {
+		spec := blinkradar.DefaultSpec()
+		spec.Seed = fx.Seed
+		spec.Duration = fx.Duration
+		spec.Subject = blinkradar.NewSubject(fx.Subject)
+		if fx.Drowsy {
+			spec.State = blinkradar.Drowsy
+		}
+		if fx.Name == "fig10-low-blink" {
+			spec.Subject.AwakeStats.RatePerMin = 0.2
+			spec.Subject.AwakeStats.LongGapProb = 0
+		}
+		capture, err := blinkradar.Generate(spec)
+		if err != nil {
+			panic(err)
+		}
+		events, _, err := core.Detect(cfg, capture.Frames)
+		if err != nil {
+			panic(err)
+		}
+		fx.EyeBin = capture.EyeBin
+		fx.Events = events
+		out = append(out, fx)
+		fmt.Fprintf(os.Stderr, "%s: %d events\n", fx.Name, len(events))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		panic(err)
+	}
+}

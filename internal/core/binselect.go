@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"blinkradar/internal/iq"
 	"blinkradar/internal/rf"
@@ -31,6 +30,12 @@ type BinScore struct {
 // window feeds the variance, the Pratt fit and the eccentricity; only
 // the trimmed residual and the angular extent still walk the samples.
 func ScoreBin(bin int, series []complex128) BinScore {
+	return scoreBinRes(bin, series, make([]float64, len(series)))
+}
+
+// scoreBinRes is ScoreBin with a caller-owned residual buffer for the
+// trimmed arc fit (len(res) == len(series)).
+func scoreBinRes(bin int, series []complex128, res []float64) BinScore {
 	var mom iq.SlidingMoments
 	mom.Accumulate(series)
 	s := BinScore{Bin: bin, Variance: mom.Variance2D()}
@@ -46,7 +51,7 @@ func ScoreBin(bin int, series []complex128) BinScore {
 	// eye bin's samples off the circle, and punishing that would bias
 	// selection toward blink-free neighbours (chin, forehead) whose
 	// bins carry no blink signature.
-	rel := trimmedRMSE(series, c) / (0.15 * c.Radius)
+	rel := trimmedRMSE(series, c, res) / (0.15 * c.Radius)
 	s.ArcQuality = 1 / (1 + rel*rel)
 	// Embedded vital-sign interference at the eye subtends a short arc
 	// (millimetre motion -> well under a radian of phase). Bins whose
@@ -85,6 +90,24 @@ type BinSeries func(bin int, buf []complex128) []complex128
 // factor, which is a pure function of these three entries.
 type BinStats func(bin int) (varI, varQ, covIQ float64)
 
+// SelectScratch holds the reusable working storage of one selection
+// sweep: the per-bin variance ranking, the candidate bound ordering,
+// the gathered series window and the residual buffer of the trimmed
+// arc fit. A zero value is ready to use; buffers grow on first use and
+// are reused afterwards, so a caller that owns a scratch (the
+// streaming detector, the offline matrix path) runs selection without
+// per-call allocation. The candidate slice returned by
+// SelectBinScratch aliases the scratch and is valid until the next
+// call with the same scratch.
+type SelectScratch struct {
+	variances  []BinScore
+	candidates []BinScore
+	bounds     []float64
+	order      []int
+	series     []complex128
+	res        []float64
+}
+
 // SelectBin picks the eye's range bin from per-bin slow-time windows.
 // Bins below guard are excluded (antenna direct path). The topK
 // highest-variance candidates are arc-scored, and the best combined
@@ -106,13 +129,23 @@ func SelectBin(series BinSeries, stats BinStats, numBins, guard, topK int) (BinS
 // instead of fanning them out; results are bit-identical for any
 // worker count.
 func SelectBinParallel(series BinSeries, stats BinStats, numBins, guard, topK, workers int) (BinScore, []BinScore, error) {
+	var scr SelectScratch
+	return SelectBinScratch(&scr, series, stats, numBins, guard, topK, workers)
+}
+
+// SelectBinScratch is SelectBinParallel with caller-owned working
+// storage; repeated calls with the same scratch allocate nothing once
+// the buffers have grown to the problem size. The returned candidate
+// slice aliases the scratch.
+func SelectBinScratch(scr *SelectScratch, series BinSeries, stats BinStats, numBins, guard, topK, workers int) (BinScore, []BinScore, error) {
 	if numBins <= guard {
 		return BinScore{}, nil, fmt.Errorf("core: no bins beyond guard (%d bins, guard %d)", numBins, guard)
 	}
 	if topK <= 0 {
 		return BinScore{}, nil, fmt.Errorf("core: candidate count must be positive, got %d", topK)
 	}
-	variances := make([]BinScore, numBins-guard)
+	scr.variances = growBinScores(scr.variances, numBins-guard)
+	variances := scr.variances
 	if stats != nil {
 		for i := range variances {
 			varI, varQ, _ := stats(guard + i)
@@ -132,14 +165,20 @@ func SelectBinParallel(series BinSeries, stats BinStats, numBins, guard, topK, w
 		topK = len(variances)
 	}
 	// Only the topK highest-variance bins are ever arc-scored, so a
-	// partial selection beats sorting the whole ranking.
+	// partial selection beats sorting the whole ranking; topK is small
+	// (tens), so insertion sorts beat sort.Slice's indirection — and
+	// allocate nothing.
 	partitionTopVariance(variances, topK)
-	sort.Slice(variances[:topK], func(i, j int) bool {
-		if variances[i].Variance != variances[j].Variance {
-			return variances[i].Variance > variances[j].Variance
+	for i := 1; i < topK; i++ {
+		v := variances[i]
+		j := i - 1
+		for j >= 0 && (variances[j].Variance < v.Variance ||
+			(variances[j].Variance == v.Variance && variances[j].Bin > v.Bin)) {
+			variances[j+1] = variances[j]
+			j--
 		}
-		return variances[i].Bin < variances[j].Bin
-	})
+		variances[j+1] = v
+	}
 	// Branch-and-bound over the candidates. Every ArcQuality factor is
 	// <= 1, so Score <= Variance; with covariance stats the bound
 	// tightens to Variance·(0.1+0.9·ecc²), separating short-arc bins
@@ -150,9 +189,10 @@ func SelectBinParallel(series BinSeries, stats BinStats, numBins, guard, topK, w
 	// variance only, unscored. The visit order depends only on the
 	// deterministic candidate ranking, never on worker scheduling, so
 	// any worker count returns bit-identical results.
-	bounds := make([]float64, topK)
-	order := make([]int, topK)
-	for i := range bounds {
+	scr.bounds = growFloats(scr.bounds, topK)
+	scr.order = growInts(scr.order, topK)
+	bounds, order := scr.bounds, scr.order
+	for i := 0; i < topK; i++ {
 		bounds[i] = variances[i].Variance
 		if stats != nil {
 			varI, varQ, covIQ := stats(variances[i].Bin)
@@ -161,39 +201,71 @@ func SelectBinParallel(series BinSeries, stats BinStats, numBins, guard, topK, w
 		}
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if bounds[order[a]] != bounds[order[b]] {
-			return bounds[order[a]] > bounds[order[b]]
+	for i := 1; i < topK; i++ {
+		o := order[i]
+		j := i - 1
+		for j >= 0 && (bounds[order[j]] < bounds[o] ||
+			(bounds[order[j]] == bounds[o] && variances[order[j]].Bin > variances[o].Bin)) {
+			order[j+1] = order[j]
+			j--
 		}
-		return variances[order[a]].Bin < variances[order[b]].Bin
-	})
-	candidates := make([]BinScore, topK)
+		order[j+1] = o
+	}
+	scr.candidates = growBinScores(scr.candidates, topK)
+	candidates := scr.candidates
 	bestScore := math.Inf(-1)
-	var buf []complex128
-	for _, i := range order {
+	for _, i := range order[:topK] {
 		if bounds[i] < bestScore {
 			candidates[i] = variances[i]
 			continue
 		}
-		buf = series(variances[i].Bin, buf)
-		candidates[i] = ScoreBin(variances[i].Bin, buf)
+		scr.series = series(variances[i].Bin, scr.series)
+		scr.res = growFloats(scr.res, len(scr.series))
+		candidates[i] = scoreBinRes(variances[i].Bin, scr.series, scr.res[:len(scr.series)])
 		if candidates[i].Score > bestScore {
 			bestScore = candidates[i].Score
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].Score != candidates[j].Score {
-			return candidates[i].Score > candidates[j].Score
+	for i := 1; i < topK; i++ {
+		c := candidates[i]
+		j := i - 1
+		for j >= 0 && (candidates[j].Score < c.Score ||
+			(candidates[j].Score == c.Score && candidates[j].Bin > c.Bin)) {
+			candidates[j+1] = candidates[j]
+			j--
 		}
-		return candidates[i].Bin < candidates[j].Bin
-	})
+		candidates[j+1] = c
+	}
 	best := candidates[0]
 	if best.Score <= 0 {
 		// No arc-like bin: fall back to raw variance (still better
 		// than nothing, and the tracker's restart logic will recover).
 		best = variances[0]
 	}
-	return best, candidates, nil
+	return best, candidates[:topK], nil
+}
+
+// growBinScores, growFloats and growInts resize a scratch slice to n
+// elements, reallocating only when its capacity is too small.
+func growBinScores(s []BinScore, n int) []BinScore {
+	if cap(s) < n {
+		return make([]BinScore, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // SelectBinMatrix is the offline convenience: selects the eye bin from
@@ -209,11 +281,15 @@ func SelectBinMatrix(cfg Config, m *rf.FrameMatrix) (BinScore, error) {
 	}
 	start := m.NumFrames() - window
 	bins := m.NumBins()
-	sumI := make([]float64, bins)
-	sumQ := make([]float64, bins)
-	sumII := make([]float64, bins)
-	sumQQ := make([]float64, bins)
-	sumIQ := make([]float64, bins)
+	// One backing array for all five per-bin sums: the sweep below is
+	// the only consumer, and a single allocation keeps the offline path
+	// as lean as the streaming one.
+	sums := make([]float64, 5*bins)
+	sumI := sums[0*bins : 1*bins]
+	sumQ := sums[1*bins : 2*bins]
+	sumII := sums[2*bins : 3*bins]
+	sumQQ := sums[3*bins : 4*bins]
+	sumIQ := sums[4*bins : 5*bins]
 	for k := 0; k < window; k++ {
 		row := m.Data[start+k]
 		for b, z := range row {
@@ -267,13 +343,13 @@ func covFromSums(sumI, sumQ, sumII, sumQQ, sumIQ float64, n int) (varI, varQ, co
 }
 
 // trimmedRMSE returns the RMS radial residual of the best 80% of
-// samples. The trim needs only the k smallest squared residuals, in any
-// order, so a quickselect partition replaces the full sort.
-func trimmedRMSE(series []complex128, c iq.Circle) float64 {
+// samples, using res (len(series) elements) as working storage. The
+// trim needs only the k smallest squared residuals, in any order, so a
+// quickselect partition replaces the full sort.
+func trimmedRMSE(series []complex128, c iq.Circle, res []float64) float64 {
 	if len(series) == 0 {
 		return 0
 	}
-	res := make([]float64, len(series))
 	for i, z := range series {
 		d := z - c.Center
 		// Plain sqrt, not Hypot: samples are sanitized upstream, so the
@@ -384,118 +460,86 @@ func partitionSmallest(res []float64, k int) {
 }
 
 // binRing stores the most recent `window` frames of every bin for
-// selection scoring, in a single flat allocation. Alongside the raw
-// samples it maintains per-bin sliding sums of I, Q, I², Q² and I·Q so
-// the selection variance pass is O(bins) reads instead of
-// O(bins·window) with a series copy per bin, and the candidate pruning
-// bound gets the eccentricity factor for free.
+// selection scoring, as two struct-of-arrays float32 planes laid out
+// frame-major: frame slot s holds bufI[s*bins : (s+1)*bins] /
+// bufQ[...]. Frames arrive frame-major, so push is two contiguous
+// bins-sized copies — the cheapest possible ingest — and the float32
+// planes halve the ring's memory footprint against the row-major
+// []complex128 layout they replace.
 //
-// Drift bound: each push past the fill point exactly recomputes one
-// bin's sums from the stored window, round-robin, so every bin is
-// renormalized once per `bins` evictions and rounding residue never
-// accumulates past that horizon. The extra O(window) per frame is noise
-// next to the O(bins) eviction update itself.
+// The per-bin consumers (stats sweeps and candidate series gathers)
+// read with a bins-sized stride instead of contiguously, but they run
+// only at selection cadence (every ReselectIntervalFrames) plus
+// cold-start, where the whole ring is a couple of L2-resident passes;
+// paying stride there is far cheaper than transposing every frame on
+// the per-push hot path was.
+//
+// No per-push statistics are maintained either. Selection stats are
+// recomputed exactly from the stored samples on demand (stats), which
+// at selection cadence costs less than keeping sliding sums coherent
+// on every push — and leaves nothing to drift, so the old round-robin
+// renormalization machinery is gone entirely.
 type binRing struct {
-	buf    []complex128 // window * bins, frame-major
-	sumI   []float64    // per-bin sliding Σ real(z)
-	sumQ   []float64    // per-bin sliding Σ imag(z)
-	sumII  []float64    // per-bin sliding Σ real(z)²
-	sumQQ  []float64    // per-bin sliding Σ imag(z)²
-	sumIQ  []float64    // per-bin sliding Σ real(z)·imag(z)
+	bufI   []float32 // window * bins, frame-major
+	bufQ   []float32
 	bins   int
 	window int
 	pos    int
 	count  int
-	renorm int // next bin to exactly recompute, round-robin
 }
 
 func newBinRing(bins, window int) *binRing {
 	return &binRing{
-		buf:    make([]complex128, bins*window),
-		sumI:   make([]float64, bins),
-		sumQ:   make([]float64, bins),
-		sumII:  make([]float64, bins),
-		sumQQ:  make([]float64, bins),
-		sumIQ:  make([]float64, bins),
+		bufI:   make([]float32, window*bins),
+		bufQ:   make([]float32, window*bins),
 		bins:   bins,
 		window: window,
 	}
 }
 
-// push stores one frame (len == bins), folding it into the per-bin
-// sums and evicting the overwritten frame from them once full.
+// push appends one frame of planes (len == bins each). The input
+// slices are copied, not retained.
 //
 //blinkradar:hotpath
-func (r *binRing) push(frame []complex128) {
-	row := r.buf[r.pos*r.bins : (r.pos+1)*r.bins]
-	if r.count == r.window {
-		for b, old := range row {
-			z := frame[b]
-			x, y := real(z), imag(z)
-			ox, oy := real(old), imag(old)
-			row[b] = z
-			r.sumI[b] += x - ox
-			r.sumQ[b] += y - oy
-			r.sumII[b] += x*x - ox*ox
-			r.sumQQ[b] += y*y - oy*oy
-			r.sumIQ[b] += x*y - ox*oy
-		}
-		r.renormalizeBin(r.renorm)
-		r.renorm++
-		if r.renorm == r.bins {
-			r.renorm = 0
-		}
-	} else {
-		for b, z := range frame {
-			x, y := real(z), imag(z)
-			row[b] = z
-			r.sumI[b] += x
-			r.sumQ[b] += y
-			r.sumII[b] += x * x
-			r.sumQQ[b] += y * y
-			r.sumIQ[b] += x * y
-		}
-		r.count++
-	}
+func (r *binRing) push(pi, pq []float32) {
+	off := r.pos * r.bins
+	copy(r.bufI[off:off+r.bins], pi)
+	copy(r.bufQ[off:off+r.bins], pq)
 	r.pos++
 	if r.pos == r.window {
 		r.pos = 0
 	}
-}
-
-// renormalizeBin recomputes one bin's sums exactly from the stored
-// samples, discarding accumulated rounding residue.
-//
-//blinkradar:hotpath
-func (r *binRing) renormalizeBin(bin int) {
-	var si, sq, sii, sqq, siq float64
-	// Sums are order-independent, so walk the live rows flat.
-	for f := 0; f < r.count; f++ {
-		z := r.buf[f*r.bins+bin]
-		x, y := real(z), imag(z)
-		si += x
-		sq += y
-		sii += x * x
-		sqq += y * y
-		siq += x * y
+	if r.count < r.window {
+		r.count++
 	}
-	r.sumI[bin] = si
-	r.sumQ[bin] = sq
-	r.sumII[bin] = sii
-	r.sumQQ[bin] = sqq
-	r.sumIQ[bin] = siq
 }
 
-// stats returns one bin's centred covariance entries from the sliding
-// sums, in O(1). It satisfies the BinStats contract.
+// size returns how many frames of history the ring holds, capped at
+// the window.
+func (r *binRing) size() int { return r.count }
+
+// stats returns one bin's centred covariance entries, recomputed
+// exactly from the stored window in one strided pass over each plane
+// (slots are visited in storage order; the sums are
+// order-independent). It satisfies the BinStats contract and is safe
+// to call concurrently with other readers — it only reads.
 //
 //blinkradar:hotpath
 func (r *binRing) stats(bin int) (varI, varQ, covIQ float64) {
-	return covFromSums(r.sumI[bin], r.sumQ[bin], r.sumII[bin], r.sumQQ[bin], r.sumIQ[bin], r.count)
+	var si, sq, sii, sqq, siq float64
+	for idx := bin; idx < r.count*r.bins; idx += r.bins {
+		i := float64(r.bufI[idx])
+		q := float64(r.bufQ[idx])
+		si += i
+		sq += q
+		sii += i * i
+		sqq += q * q
+		siq += i * q
+	}
+	return covFromSums(si, sq, sii, sqq, siq, r.count)
 }
 
-// variance returns the total 2-D variance of one bin's stored window,
-// in O(1).
+// variance returns the total 2-D variance of one bin's stored window.
 //
 //blinkradar:hotpath
 func (r *binRing) variance(bin int) float64 {
@@ -511,9 +555,10 @@ func (r *binRing) series(bin int) []complex128 {
 
 // seriesInto fills buf with the stored samples of one bin, oldest
 // first, growing it only when its capacity is too small, and returns
-// the filled slice. It satisfies the BinSeries contract: concurrent
-// calls with distinct buffers are safe as long as no frame is pushed
-// meanwhile.
+// the filled slice (widened from the float32 planes — selection
+// scoring runs in float64). It satisfies the BinSeries contract:
+// concurrent calls with distinct buffers are safe as long as no frame
+// is pushed meanwhile (readers never mutate the ring).
 //
 //blinkradar:hotpath
 func (r *binRing) seriesInto(bin int, buf []complex128) []complex128 {
@@ -523,13 +568,20 @@ func (r *binRing) seriesInto(bin int, buf []complex128) []complex128 {
 		buf = make([]complex128, r.count) //blinkvet:ignore hotpathalloc -- amortised warm-up growth
 	}
 	buf = buf[:r.count]
-	start := r.pos - r.count
-	for i := 0; i < r.count; i++ {
-		idx := start + i
-		if idx < 0 {
-			idx += r.window
-		}
-		buf[i] = r.buf[(idx%r.window)*r.bins+bin]
+	start := r.pos
+	if r.count < r.window {
+		start = 0
+	}
+	n := 0
+	for s := start; s < r.window && n < r.count; s++ {
+		idx := s*r.bins + bin
+		buf[n] = complex(float64(r.bufI[idx]), float64(r.bufQ[idx]))
+		n++
+	}
+	for s := 0; n < r.count; s++ {
+		idx := s*r.bins + bin
+		buf[n] = complex(float64(r.bufI[idx]), float64(r.bufQ[idx]))
+		n++
 	}
 	return buf
 }
@@ -539,22 +591,15 @@ func (r *binRing) latest(bin int) complex128 {
 	if r.count == 0 {
 		return 0
 	}
-	idx := r.pos - 1
-	if idx < 0 {
-		idx += r.window
+	s := r.pos - 1
+	if s < 0 {
+		s += r.window
 	}
-	return r.buf[idx*r.bins+bin]
+	idx := s*r.bins + bin
+	return complex(float64(r.bufI[idx]), float64(r.bufQ[idx]))
 }
 
 func (r *binRing) reset() {
 	r.pos = 0
 	r.count = 0
-	r.renorm = 0
-	for b := range r.sumI {
-		r.sumI[b] = 0
-		r.sumQ[b] = 0
-		r.sumII[b] = 0
-		r.sumQQ[b] = 0
-		r.sumIQ[b] = 0
-	}
 }

@@ -196,10 +196,27 @@ func TestSelectBinParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// pushC pushes a complex frame through the ring's SoA planes, reusing
+// per-call conversion buffers (tests only).
+func pushC(r *binRing, frame []complex128) {
+	pi := make([]float32, len(frame))
+	pq := make([]float32, len(frame))
+	for i, z := range frame {
+		pi[i] = float32(real(z))
+		pq[i] = float32(imag(z))
+	}
+	r.push(pi, pq)
+}
+
+// q32 quantises a complex value through the ring's float32 planes.
+func q32(z complex128) complex128 {
+	return complex(float64(float32(real(z))), float64(float32(imag(z))))
+}
+
 func TestBinRingSeriesInto(t *testing.T) {
 	r := newBinRing(2, 8)
 	for i := 0; i < 5; i++ {
-		r.push([]complex128{complex(float64(i), 0), complex(0, float64(i))})
+		pushC(r, []complex128{complex(float64(i), 0), complex(0, float64(i))})
 	}
 	buf := make([]complex128, 0, 8)
 	got := r.seriesInto(1, buf)
@@ -232,7 +249,7 @@ func TestBinRingSeriesOrderProperty(t *testing.T) {
 				frame[b] = complex(rng.NormFloat64(), float64(i))
 			}
 			history = append(history, append([]complex128(nil), frame...))
-			r.push(frame)
+			pushC(r, frame)
 		}
 		lo := len(history) - window
 		if lo < 0 {
@@ -245,11 +262,11 @@ func TestBinRingSeriesOrderProperty(t *testing.T) {
 				return false
 			}
 			for i := range want {
-				if got[i] != want[i][b] {
+				if got[i] != q32(want[i][b]) {
 					return false
 				}
 			}
-			if r.latest(b) != want[len(want)-1][b] {
+			if r.latest(b) != q32(want[len(want)-1][b]) {
 				return false
 			}
 		}
@@ -262,7 +279,7 @@ func TestBinRingSeriesOrderProperty(t *testing.T) {
 
 func TestBinRingReset(t *testing.T) {
 	r := newBinRing(2, 4)
-	r.push([]complex128{1, 2})
+	pushC(r, []complex128{1, 2})
 	r.reset()
 	if r.count != 0 || len(r.series(0)) != 0 {
 		t.Fatal("reset ring must be empty")
@@ -286,7 +303,7 @@ func TestBinRingVarianceMatchesBatch(t *testing.T) {
 			off := complex(float64(b)*3, -float64(b))
 			frame[b] = off + complex(rng.NormFloat64(), rng.NormFloat64())
 		}
-		r.push(frame)
+		pushC(r, frame)
 		for b := 0; b < bins; b++ {
 			series := r.series(b)
 			want := iq.Variance2D(series)
@@ -306,7 +323,7 @@ func TestBinRingVarianceMatchesBatch(t *testing.T) {
 func TestBinRingVarianceAfterReset(t *testing.T) {
 	r := newBinRing(2, 4)
 	for i := 0; i < 9; i++ {
-		r.push([]complex128{complex(float64(i), 1), complex(-1, float64(i))})
+		pushC(r, []complex128{complex(float64(i), 1), complex(-1, float64(i))})
 	}
 	r.reset()
 	for b := 0; b < 2; b++ {
@@ -315,8 +332,8 @@ func TestBinRingVarianceAfterReset(t *testing.T) {
 		}
 	}
 	// Sums must restart cleanly, not inherit pre-reset residue.
-	r.push([]complex128{2 + 2i, 3 - 1i})
-	r.push([]complex128{4 + 4i, 5 - 3i})
+	pushC(r, []complex128{2 + 2i, 3 - 1i})
+	pushC(r, []complex128{4 + 4i, 5 - 3i})
 	for b := 0; b < 2; b++ {
 		want := iq.Variance2D(r.series(b))
 		if got := r.variance(b); math.Abs(got-want) > 1e-12 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"blinkradar/internal/dsp"
+	"blinkradar/internal/iq"
 	"blinkradar/internal/obs"
 	"blinkradar/internal/rf"
 )
@@ -41,7 +42,7 @@ type Detector struct {
 	// Input-sanitization and gap-handling state (see sanitize.go).
 	in            InputStats
 	consecRejects int
-	lastGood      []complex128
+	lastGood      iq.Planes32
 	haveGood      bool
 	health        atomic.Int32 // HealthState; read cross-goroutine
 
@@ -54,8 +55,9 @@ type Detector struct {
 	trace      bool
 	distTrace  []float64
 	thrTrace   []float64
-	scratch    []complex128
+	cur        iq.Planes32 // per-frame SoA working copy
 	seriesBuf  []complex128
+	selScratch SelectScratch
 	eventCount int
 
 	// Metrics (nil-safe no-ops until SetRegistry attaches a registry).
@@ -135,8 +137,8 @@ func NewDetector(cfg Config, numBins int, frameRate float64, opts ...Option) (*D
 		levd:     levd,
 		bin:      -1,
 		med:      med,
-		scratch:  make([]complex128, numBins),
-		lastGood: make([]complex128, numBins),
+		cur:      iq.MakePlanes32(numBins),
+		lastGood: iq.MakePlanes32(numBins),
 	}, nil
 }
 
@@ -263,7 +265,7 @@ func (d *Detector) Bin() int {
 // stream (e.g. vital-sign estimation). ok is false before bin
 // selection.
 func (d *Detector) CurrentSample() (z complex128, bin int, ok bool) {
-	if !d.haveBin || d.ring.count == 0 {
+	if !d.haveBin || d.ring.size() == 0 {
 		return 0, -1, false
 	}
 	return d.ring.latest(d.bin), d.bin, true
@@ -285,6 +287,12 @@ func (d *Detector) NumBins() int { return d.bins }
 // Feed consumes one radar frame (length must equal numBins). The input
 // slice is not retained or modified. It returns a detected blink and
 // true when a detection is confirmed at this frame.
+//
+// Internally the pipeline runs on the float32 SoA layout: the frame is
+// narrowed into the detector's plane scratch (the sanctioned
+// float64→float32 boundary — raw samples only, never statistics) and
+// every stage after that is a real-valued per-plane pass. Callers that
+// already hold planes should use FeedPlanes and skip the conversion.
 func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	if len(frame) != d.bins {
 		return BlinkEvent{}, false, fmt.Errorf("core: frame has %d bins, detector configured for %d", len(frame), d.bins)
@@ -298,27 +306,57 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 			d.sampleAllocs()
 		}()
 	}
+	d.cur.FromComplex(frame)
+	return d.feedCur(timed, start)
+}
+
+// FeedPlanes is Feed for callers that already hold the frame as float32
+// I/Q planes (the transport decode path), skipping the complex
+// round-trip entirely. The input slices are not retained or modified.
+func (d *Detector) FeedPlanes(pi, pq []float32) (BlinkEvent, bool, error) {
+	if len(pi) != d.bins || len(pq) != d.bins {
+		n := len(pi)
+		if len(pq) != n {
+			n = -1
+		}
+		return BlinkEvent{}, false, fmt.Errorf("core: frame has %d bins, detector configured for %d", n, d.bins)
+	}
+	timed := d.mLatency != nil
+	var start time.Time
+	if timed {
+		start = time.Now()
+		defer func() {
+			d.mLatency.Observe(time.Since(start).Seconds())
+			d.sampleAllocs()
+		}()
+	}
+	copy(d.cur.I, pi)
+	copy(d.cur.Q, pq)
+	return d.feedCur(timed, start)
+}
+
+// feedCur runs the pipeline over the frame staged in d.cur.
+func (d *Detector) feedCur(timed bool, start time.Time) (BlinkEvent, bool, error) {
 	d.mFrames.Inc()
-	copy(d.scratch, frame)
-	if !d.sanitizeFrame(d.scratch) {
+	if !d.sanitizeFrame(d.cur.I, d.cur.Q) {
 		d.noteReject()
 		return BlinkEvent{}, false, nil
 	}
 	d.noteAccept()
-	if err := d.pre.Process(d.scratch); err != nil {
+	if err := d.pre.ProcessPlanes(d.cur.I, d.cur.Q); err != nil {
 		return BlinkEvent{}, false, err
 	}
 	if timed {
 		d.mStagePre.Observe(time.Since(start).Seconds())
 	}
-	d.ring.push(d.scratch)
+	d.ring.push(d.cur.I, d.cur.Q)
 	d.frame++
 
 	if !d.haveBin {
 		// Gate on the ring, not the absolute frame count, so that a
 		// post-gap re-acquisition waits for a full window of clean
 		// frames rather than firing on a near-empty ring.
-		if d.ring.count >= d.cfg.ColdStartFrames {
+		if d.ring.size() >= d.cfg.ColdStartFrames {
 			d.selectBin(false)
 		}
 		d.pushTrace(0)
@@ -329,7 +367,7 @@ func (d *Detector) Feed(frame []complex128) (BlinkEvent, bool, error) {
 	if timed {
 		trackStart = time.Now()
 	}
-	dist, ok := d.tracker.Push(d.scratch[d.bin])
+	dist, ok := d.tracker.Push(d.cur.At(d.bin))
 	if !ok {
 		if timed {
 			d.mStageTrack.Observe(time.Since(trackStart).Seconds())
@@ -384,7 +422,7 @@ func (d *Detector) runSelection() (BinScore, error) {
 	if d.mStageSelect != nil {
 		start = time.Now()
 	}
-	best, _, err := SelectBinParallel(d.ring.seriesInto, d.ring.stats, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK, d.cfg.Parallelism)
+	best, _, err := SelectBinScratch(&d.selScratch, d.ring.seriesInto, d.ring.stats, d.bins, d.cfg.GuardBins, d.cfg.CandidateTopK, d.cfg.Parallelism)
 	if d.mStageSelect != nil {
 		d.mStageSelect.Observe(time.Since(start).Seconds())
 	}
@@ -427,7 +465,8 @@ func (d *Detector) maybeReselect() {
 		return
 	}
 	d.seriesBuf = d.ring.seriesInto(d.bin, d.seriesBuf)
-	current := ScoreBin(d.bin, d.seriesBuf)
+	d.selScratch.res = growFloats(d.selScratch.res, len(d.seriesBuf))
+	current := scoreBinRes(d.bin, d.seriesBuf, d.selScratch.res[:len(d.seriesBuf)])
 	d.binScore = current.Score
 	if best.Bin == d.bin {
 		return

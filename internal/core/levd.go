@@ -72,12 +72,12 @@ type LEVD struct {
 	sigmaBuf    []float64
 	sigmaPos    int
 	sigmaCnt    int
+	sigmaSorted []float64 // sorted mirror of sigmaBuf[:sigmaCnt]
 	sigma       float64
 	tail80      float64
 	tailGuardK  float64
 	sinceSigma  int
 	sigmaEvery  int
-	sortScratch []float64
 
 	// Extremum tracking.
 	prev     float64
@@ -124,7 +124,7 @@ func NewLEVD(cfg Config, fps float64) (*LEVD, error) {
 		trendSorted:  make([]float64, 0, cfg.DetrendWindowFrames),
 		sigmaBuf:     make([]float64, sigmaWin),
 		sigmaEvery:   int(fps),
-		sortScratch:  make([]float64, 0, sigmaWin),
+		sigmaSorted:  make([]float64, 0, sigmaWin),
 		lastEvent:    math.Inf(-1),
 	}, nil
 }
@@ -167,6 +167,7 @@ func (l *LEVD) SetFrozen(frozen bool) { l.frozen = frozen }
 // does not linger in the threshold estimate.
 func (l *LEVD) ResetSigma() {
 	l.sigmaPos, l.sigmaCnt = 0, 0
+	l.sigmaSorted = l.sigmaSorted[:0]
 	l.sigma = 0
 	l.tail80 = 0
 	l.sinceSigma = 0
@@ -266,36 +267,76 @@ func (l *LEVD) detrend(v float64) (float64, bool) {
 	return l.trendSorted[len(l.trendSorted)/2], true
 }
 
-// updateSigma maintains the rolling MAD-based sigma estimate.
+// updateSigma maintains the rolling MAD-based sigma estimate. The
+// window ring keeps a sorted mirror, edited with copy-based
+// insert/remove inside its pre-allocated capacity (the same idiom as
+// detrend's median window), so each recomputation reads order
+// statistics instead of sorting: the median is one indexed load, and
+// the MAD plus 80th-percentile deviation come from a single outward
+// two-pointer merge from the median — the absolute deviations of a
+// sorted array are the merge of two sorted runs, one descending to the
+// left of the median and one ascending to the right. The estimates are
+// bit-identical to the sort-based implementation (same multisets, same
+// ranks) at a fraction of the cost: O(log n) search plus one memmove
+// per frame and one O(n) branch-light scan per recomputation, against
+// two O(n log n) sorts.
 //
 //blinkradar:hotpath
 func (l *LEVD) updateSigma(v float64) {
-	l.sigmaBuf[l.sigmaPos] = v
-	l.sigmaPos = (l.sigmaPos + 1) % len(l.sigmaBuf)
-	if l.sigmaCnt < len(l.sigmaBuf) {
+	if l.sigmaCnt == len(l.sigmaBuf) {
+		old := l.sigmaBuf[l.sigmaPos]
+		i := sort.SearchFloat64s(l.sigmaSorted, old)
+		copy(l.sigmaSorted[i:], l.sigmaSorted[i+1:])
+		l.sigmaSorted = l.sigmaSorted[:len(l.sigmaSorted)-1]
+	} else {
 		l.sigmaCnt++
 	}
+	l.sigmaBuf[l.sigmaPos] = v
+	l.sigmaPos = (l.sigmaPos + 1) % len(l.sigmaBuf)
+	i := sort.SearchFloat64s(l.sigmaSorted, v)
+	l.sigmaSorted = l.sigmaSorted[:len(l.sigmaSorted)+1]
+	copy(l.sigmaSorted[i+1:], l.sigmaSorted[i:])
+	l.sigmaSorted[i] = v
 	l.sinceSigma++
 	if l.sinceSigma < l.sigmaEvery && l.sigma > 0 {
 		return
 	}
 	l.sinceSigma = 0
-	if l.sigmaCnt < 10 {
+	n := l.sigmaCnt
+	if n < 10 {
 		return
 	}
-	// sortScratch's capacity is the sigma window size, so this reslice
-	// never grows the backing array.
-	vals := l.sortScratch[:l.sigmaCnt]
-	copy(vals, l.sigmaBuf[:l.sigmaCnt])
-	sort.Float64s(vals)
-	med := vals[len(vals)/2]
-	for i, x := range vals {
-		vals[i] = math.Abs(x - med)
+	s := l.sigmaSorted
+	med := s[n/2]
+	// Outward merge over the deviations |s[i]-med|: rank 0 is the
+	// median itself (deviation 0), then each step consumes the smaller
+	// of the next deviation leftward (med-s[lp]) or rightward
+	// (s[rp]-med). Exhausted sides yield +Inf so the other side drains.
+	kMad := n / 2
+	k80 := n * 4 / 5
+	lp, rp := n/2-1, n/2+1
+	cur := 0.0
+	for taken := 0; taken < k80; taken++ {
+		dl, dr := math.Inf(1), math.Inf(1)
+		if lp >= 0 {
+			dl = med - s[lp]
+		}
+		if rp < n {
+			dr = s[rp] - med
+		}
+		if dl <= dr {
+			cur = dl
+			lp--
+		} else {
+			cur = dr
+			rp++
+		}
+		if taken+1 == kMad {
+			// 1.4826 scales MAD to sigma for Gaussian noise.
+			l.sigma = 1.4826 * cur
+		}
 	}
-	sort.Float64s(vals)
-	// 1.4826 scales MAD to sigma for Gaussian noise.
-	l.sigma = 1.4826 * vals[len(vals)/2]
-	l.tail80 = vals[len(vals)*4/5]
+	l.tail80 = cur
 }
 
 // step runs the extremum state machine and detection rule.

@@ -17,6 +17,15 @@ type Preprocessor struct {
 	fir        *dsp.FIRFilter
 	scratch    []complex128
 	firScratch []complex128
+
+	// Float32 SoA mirrors of the denoise cascade for the real-time
+	// planes path (ProcessPlanes). fused32 covers FIR+smoothing in one
+	// pass when the fast-time FIR is enabled; ma32 covers
+	// smoothing-only. Both nil means denoise is a no-op on this
+	// profile.
+	fused32      *dsp.FusedCascade
+	ma32         *dsp.InPlaceMA32
+	planeScratch []float32
 }
 
 // NewPreprocessor builds a preprocessor for profiles with the given
@@ -37,18 +46,39 @@ func NewPreprocessor(cfg Config, numBins int, frameRate float64) (*Preprocessor,
 	// fast-time (range) axis of each frame. The FIR is only applied
 	// when the profile is long enough for the design to make sense.
 	var fir *dsp.FIRFilter
+	var fused32 *dsp.FusedCascade
+	var ma32 *dsp.InPlaceMA32
+	smooth := cfg.FastTimeSmoothBins
+	if smooth < 1 {
+		smooth = 1
+	}
 	if cfg.EnableFastTimeFIR && numBins > 2*cfg.FIROrder {
 		fir, err = dsp.LowPassFIR(cfg.FIROrder, cfg.FIRCutoff, dsp.Hamming)
 		if err != nil {
 			return nil, err
 		}
+		// The SoA mirror fuses the same FIR design with the fast-time
+		// smoother into one pass per plane (window 1 degenerates to the
+		// FIR alone).
+		fused32, err = dsp.NewFusedCascade(cfg.FIROrder, cfg.FIRCutoff, smooth)
+		if err != nil {
+			return nil, err
+		}
+	} else if smooth > 1 {
+		ma32, err = dsp.NewInPlaceMA32(smooth)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Preprocessor{
-		cfg:        cfg,
-		background: bg,
-		fir:        fir,
-		scratch:    make([]complex128, numBins),
-		firScratch: make([]complex128, numBins),
+		cfg:          cfg,
+		background:   bg,
+		fir:          fir,
+		scratch:      make([]complex128, numBins),
+		firScratch:   make([]complex128, numBins),
+		fused32:      fused32,
+		ma32:         ma32,
+		planeScratch: make([]float32, numBins),
 	}, nil
 }
 
@@ -77,6 +107,45 @@ func (p *Preprocessor) denoise(frame []complex128) {
 		copy(frame, p.firScratch)
 	}
 	smoothFastTime(frame, p.scratch, p.cfg.FastTimeSmoothBins)
+}
+
+// ProcessPlanes is Process on the float32 SoA frame layout: it
+// denoises and background-subtracts one frame of I/Q planes in place.
+// This is the real-time hot path — each plane runs the fused Fig. 7
+// cascade (or the stand-alone smoother) as a plain real-valued pass,
+// and no buffer escapes the preprocessor.
+//
+//blinkradar:hotpath
+func (p *Preprocessor) ProcessPlanes(pi, pq []float32) error {
+	if len(pi) != len(p.scratch) || len(pq) != len(p.scratch) {
+		n := len(pi)
+		if len(pq) != n {
+			n = -1
+		}
+		return errFrameBins(n, len(p.scratch))
+	}
+	p.denoisePlanes(pi, pq)
+	p.background.ApplyPlanes(pi, pq)
+	return nil
+}
+
+// denoisePlanes runs the noise-reduction cascade on both planes in
+// place. The fused kernel cannot run aliased (its FIR stage writes
+// output while later samples still read the input), so each plane
+// detours through the reusable plane scratch.
+//
+//blinkradar:hotpath
+func (p *Preprocessor) denoisePlanes(pi, pq []float32) {
+	switch {
+	case p.fused32 != nil:
+		copy(p.planeScratch, pi)
+		p.fused32.ApplyInto32(pi, p.planeScratch[:len(pi)]) // lengths match by construction
+		copy(p.planeScratch, pq)
+		p.fused32.ApplyInto32(pq, p.planeScratch[:len(pq)])
+	case p.ma32 != nil:
+		p.ma32.Apply(pi)
+		p.ma32.Apply(pq)
+	}
 }
 
 // Reset clears the background estimate (used after a full restart).
@@ -123,6 +192,10 @@ type BackgroundSubtractor struct {
 	seen        int
 	sum         []complex128
 	mean        []complex128
+	// Float32 mirrors of the frozen mean for the SoA planes path,
+	// filled once at freeze so the hot subtraction never widens.
+	meanI32 []float32
+	meanQ32 []float32
 }
 
 // NewBackgroundSubtractor creates a subtractor for numBins bins priming
@@ -142,6 +215,8 @@ func NewBackgroundSubtractor(numBins int, frameRate, tauSec float64) (*Backgroun
 		primeFrames: prime,
 		sum:         make([]complex128, numBins),
 		mean:        make([]complex128, numBins),
+		meanI32:     make([]float32, numBins),
+		meanQ32:     make([]float32, numBins),
 	}, nil
 }
 
@@ -162,15 +237,51 @@ func (b *BackgroundSubtractor) Apply(frame []complex128) {
 			frame[i] = 0
 		}
 		if b.seen == b.primeFrames {
-			inv := complex(1/float64(b.seen), 0)
-			for i, s := range b.sum {
-				b.mean[i] = s * inv
-			}
+			b.freeze()
 		}
 		return
 	}
 	for i, v := range frame {
 		frame[i] = v - b.mean[i]
+	}
+}
+
+// ApplyPlanes is Apply on the float32 SoA layout. Priming accumulates
+// into the shared float64 sums (narrowed samples, full-precision
+// accumulation), so a subtractor primed through either layout serves
+// both.
+//
+//blinkradar:hotpath
+func (b *BackgroundSubtractor) ApplyPlanes(pi, pq []float32) {
+	if b.seen < b.primeFrames {
+		b.seen++
+		for i := range pi {
+			b.sum[i] += complex(float64(pi[i]), float64(pq[i]))
+			pi[i] = 0
+			pq[i] = 0
+		}
+		if b.seen == b.primeFrames {
+			b.freeze()
+		}
+		return
+	}
+	for i := range pi {
+		pi[i] -= b.meanI32[i]
+		pq[i] -= b.meanQ32[i]
+	}
+}
+
+// freeze finalises the clutter estimate from the priming sum and fills
+// the float32 mirrors used by the planes path.
+//
+//blinkradar:convert
+func (b *BackgroundSubtractor) freeze() {
+	inv := complex(1/float64(b.seen), 0)
+	for i, s := range b.sum {
+		m := s * inv
+		b.mean[i] = m
+		b.meanI32[i] = float32(real(m))
+		b.meanQ32[i] = float32(imag(m))
 	}
 }
 
@@ -202,6 +313,8 @@ func (b *BackgroundSubtractor) Reset() {
 	for i := range b.sum {
 		b.sum[i] = 0
 		b.mean[i] = 0
+		b.meanI32[i] = 0
+		b.meanQ32[i] = 0
 	}
 	b.seen = 0
 }
@@ -255,41 +368,54 @@ func PreprocessMatrixParallel(cfg Config, m *rf.FrameMatrix, workers int) (*rf.F
 // cascade: an order-N Hamming-window low-pass FIR followed by a
 // moving-average smoother. Construct once, then Apply repeatedly with
 // caller-owned buffers — the hot path performs no allocations. Not safe
-// for concurrent use (the scratch buffer is shared across calls).
+// for concurrent use (internal buffers are shared across calls).
+//
+// The windowed-sinc FIR is linear-phase, so Apply runs the fused
+// folded-tap single-pass kernel (dsp.FusedCascade): half the multiplies
+// of the direct form and one traversal of the series instead of two.
+// The output matches the sequential FIR+smoother pipeline within
+// fold-average rounding (≤1e-12 relative; see DESIGN.md §13).
 type Cascade struct {
-	fir     *dsp.FIRFilter
-	smooth  int
+	fused  *dsp.FusedCascade
+	smooth int
+	// The fused kernel cannot run in place (its FIR stage writes the
+	// output while later samples still read the input), so aliased
+	// calls detour through a reusable copy of the input.
 	scratch []float64
 }
 
 // NewCascade designs the cascade's FIR stage once so repeated
 // applications avoid redesign and window allocations.
 func NewCascade(order int, cutoff float64, smooth int) (*Cascade, error) {
-	fir, err := dsp.LowPassFIR(order, cutoff, dsp.Hamming)
-	if err != nil {
-		return nil, err
-	}
 	if smooth <= 0 {
 		return nil, fmt.Errorf("core: smoothing window must be positive, got %d", smooth)
 	}
-	return &Cascade{fir: fir, smooth: smooth}, nil
+	fused, err := dsp.NewFusedCascade(order, cutoff, smooth)
+	if err != nil {
+		return nil, err
+	}
+	return &Cascade{fused: fused, smooth: smooth}, nil
 }
 
-// Apply runs the cascade over x into dst (same length; dst may alias x
-// since the FIR stage writes through the internal scratch).
+// Apply runs the cascade over x into dst (same length; dst may alias x).
 func (c *Cascade) Apply(dst, x []float64) error {
 	if len(dst) != len(x) {
 		return fmt.Errorf("core: destination has %d samples, input %d", len(dst), len(x))
 	}
-	if cap(c.scratch) < len(x) {
-		c.scratch = make([]float64, len(x))
+	if len(x) > 0 && &dst[0] == &x[0] {
+		if cap(c.scratch) < len(x) {
+			c.scratch = make([]float64, len(x))
+		}
+		mid := c.scratch[:len(x)]
+		copy(mid, x)
+		return c.fused.ApplyInto(dst, mid)
 	}
-	mid := c.scratch[:len(x)]
-	if err := c.fir.ApplyInto(mid, x); err != nil {
-		return err
-	}
-	return dsp.MovingAverageInto(dst, mid, c.smooth)
+	return c.fused.ApplyInto(dst, x)
 }
+
+// Fused exposes the underlying fused kernel for callers that drive the
+// float32 SoA path directly.
+func (c *Cascade) Fused() *dsp.FusedCascade { return c.fused }
 
 // CascadeFilter applies the paper's Fig. 7 noise-reduction cascade — an
 // order-`order` Hamming-window low-pass FIR followed by a `smooth`-point

@@ -33,32 +33,58 @@ func isFinite(c complex128) bool {
 	return !math.IsNaN(re) && !math.IsInf(re, 0) && !math.IsNaN(im) && !math.IsInf(im, 0)
 }
 
-// sanitizeFrame validates and repairs the raw frame in buf, in place.
-// Non-finite bins are patched with the last accepted value for that bin
-// (zero before any frame has been accepted); when more than
-// MaxBadBinFrac of the frame is non-finite the frame is rejected whole.
-// With SaturationLimit > 0, component magnitudes beyond the limit are
-// clamped (ADC rail-out repair). Returns false when the frame must be
-// discarded.
+// finite32 reports whether v is finite. NaN survives float64→float32
+// narrowing and ±Inf stays infinite, so checking the narrowed sample
+// catches exactly what the complex-path sweep would — except a finite
+// float64 beyond ±MaxFloat32, which narrows to Inf and is repaired as
+// non-finite rather than clamped (see DESIGN.md §13).
 //
 //blinkradar:hotpath
-func (d *Detector) sanitizeFrame(buf []complex128) bool {
+func finite32(v float32) bool {
+	d := float64(v)
+	return !math.IsNaN(d) && !math.IsInf(d, 0)
+}
+
+// sanitizeFrame validates and repairs the raw frame's I/Q planes in
+// place. Non-finite bins are patched with the last accepted value for
+// that bin (zero before any frame has been accepted); when more than
+// MaxBadBinFrac of the frame is non-finite the frame is rejected whole.
+// With SaturationLimit > 0, component magnitudes beyond the limit are
+// clamped (ADC rail-out repair); a finite float64 component beyond
+// ±MaxFloat32 arrives here already narrowed to Inf and is repaired
+// instead. Returns false when the frame must be discarded.
+//
+//blinkradar:hotpath
+func (d *Detector) sanitizeFrame(pi, pq []float32) bool {
+	// Branchless screen first: v-v is exactly 0 for every finite v and
+	// NaN for NaN/±Inf, so a NaN accumulator after the sweep means the
+	// frame needs the per-bin repair scan. Clean frames — the
+	// overwhelmingly common case — pay two subtract-adds per bin and no
+	// data-dependent branches.
+	var acc float32
+	for i := range pi {
+		acc += (pi[i] - pi[i]) + (pq[i] - pq[i])
+	}
 	bad := 0
-	for _, c := range buf {
-		if !isFinite(c) {
-			bad++
+	if acc != acc {
+		for i := range pi {
+			if !finite32(pi[i]) || !finite32(pq[i]) {
+				bad++
+			}
 		}
 	}
 	if bad > 0 {
-		if float64(bad) > d.cfg.MaxBadBinFrac*float64(len(buf)) {
+		if float64(bad) > d.cfg.MaxBadBinFrac*float64(len(pi)) {
 			return false
 		}
-		for i, c := range buf {
-			if !isFinite(c) {
+		for i := range pi {
+			if !finite32(pi[i]) || !finite32(pq[i]) {
 				if d.haveGood {
-					buf[i] = d.lastGood[i]
+					pi[i] = d.lastGood.I[i]
+					pq[i] = d.lastGood.Q[i]
 				} else {
-					buf[i] = 0
+					pi[i] = 0
+					pq[i] = 0
 				}
 				d.in.RepairedBins++
 				d.mBinsRepaired.Inc()
@@ -66,27 +92,30 @@ func (d *Detector) sanitizeFrame(buf []complex128) bool {
 		}
 	}
 	if lim := d.cfg.SaturationLimit; lim > 0 {
-		for i, c := range buf {
-			re, im := real(c), imag(c)
+		lim32 := float32(lim)
+		for i := range pi {
+			re, im := pi[i], pq[i]
 			clamped := false
-			if re > lim {
-				re, clamped = lim, true
-			} else if re < -lim {
-				re, clamped = -lim, true
+			if re > lim32 {
+				re, clamped = lim32, true
+			} else if re < -lim32 {
+				re, clamped = -lim32, true
 			}
-			if im > lim {
-				im, clamped = lim, true
-			} else if im < -lim {
-				im, clamped = -lim, true
+			if im > lim32 {
+				im, clamped = lim32, true
+			} else if im < -lim32 {
+				im, clamped = -lim32, true
 			}
 			if clamped {
-				buf[i] = complex(re, im)
+				pi[i] = re
+				pq[i] = im
 				d.in.ClampedBins++
 				d.mBinsClamped.Inc()
 			}
 		}
 	}
-	copy(d.lastGood, buf)
+	copy(d.lastGood.I, pi)
+	copy(d.lastGood.Q, pq)
 	d.haveGood = true
 	return true
 }

@@ -236,7 +236,7 @@ func TestDetectorSaturationClamp(t *testing.T) {
 	}
 	// The clamp must actually bound what enters the pipeline: the last
 	// accepted copy of the railed bin sits at the limit.
-	if got := cmplx.Abs(det.lastGood[5]); got > cfg.SaturationLimit*math.Sqrt2+1e-9 {
+	if got := cmplx.Abs(det.lastGood.At(5)); got > cfg.SaturationLimit*math.Sqrt2+1e-9 {
 		t.Fatalf("railed bin entered pipeline at magnitude %g, limit %g", got, cfg.SaturationLimit)
 	}
 }

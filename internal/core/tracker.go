@@ -119,8 +119,10 @@ func (t *Tracker) Push(z complex128) (float64, bool) {
 // in O(1) from the sliding moment sums — no pass over the samples — so
 // the only O(window) work left is the trim: samples far off the
 // first-pass circle (mostly blink transients, ~15% of frames) are
-// discarded and the circle refitted exactly, so blinks do not drag the
-// centre. A degenerate fit keeps the previous centre (the paper notes
+// rejected with a square-root-free band test, their sums accumulated
+// into a moment-space complement, and the circle refitted from the
+// difference of sums (FitPrattExcluding) — so blinks do not drag the
+// centre, at O(window) comparisons but O(1) fit cost. A degenerate fit keeps the previous centre (the paper notes
 // accuracy is poor with too few samples, so a stale-but-valid centre
 // beats a bad one).
 func (t *Tracker) refit() {
@@ -155,20 +157,31 @@ func (t *Tracker) refit() {
 	}
 	t.rejects = 0
 	if c.RMSE > 0 {
-		samples := t.samplesInto()
-		// Compact the in-band samples to the front of the scratch in
-		// place instead of appending, keeping the accepted path
-		// allocation-free as well.
-		kept := 0
-		for _, z := range samples {
-			d := z - c.Center
-			if r := hypot(real(d), imag(d)); r > c.Radius-3*c.RMSE && r < c.Radius+3*c.RMSE {
-				samples[kept] = z
-				kept++
-			}
+		// The band test compares squared distances (no square root per
+		// sample); lo2 = -1 accepts everything radially inward when the
+		// band floor is negative. The window ring is scanned in storage
+		// order — only the set of rejected samples matters, not their
+		// order — and the rejected minority is accumulated into a
+		// moment-space complement, so the trimmed refit below is solved
+		// from sums without revisiting the kept samples.
+		lo := c.Radius - 3*c.RMSE
+		hi := c.Radius + 3*c.RMSE
+		lo2 := -1.0
+		if lo > 0 {
+			lo2 = lo * lo
 		}
-		if kept >= len(samples)/2 {
-			if c2, err2 := iq.FitCirclePratt(samples[:kept]); err2 == nil {
+		hi2 := hi * hi
+		var sub iq.SlidingMoments
+		for _, z := range t.window[:t.count] {
+			d := z - c.Center
+			r2 := real(d)*real(d) + imag(d)*imag(d)
+			if r2 > lo2 && r2 < hi2 {
+				continue
+			}
+			sub.Push(z)
+		}
+		if t.count-sub.Count() >= t.count/2 {
+			if c2, err2 := t.mom.FitPrattExcluding(&sub); err2 == nil {
 				c = c2
 			}
 		}

@@ -135,7 +135,10 @@ func ServeStream(ctx context.Context, conn net.Conn, mgr *session.Manager, opts 
 	var lastSeq uint64
 	haveSeq := false
 	for {
-		f, err := dec.Decode()
+		// Planes end to end: the wire carries float32 I/Q pairs, the
+		// session queue stores float32 planes, and the pipeline consumes
+		// them — no []complex128 frame is ever materialised on this path.
+		f, err := dec.DecodePlanes()
 		if err != nil {
 			return err
 		}
@@ -143,7 +146,7 @@ func ServeStream(ctx context.Context, conn net.Conn, mgr *session.Manager, opts 
 			mgr.NoteGap(id, f.Seq-lastSeq-1)
 		}
 		lastSeq, haveSeq = f.Seq, true
-		switch err := mgr.Submit(id, f.Bins); {
+		switch err := mgr.SubmitPlanes(id, f.I, f.Q); {
 		case err == nil:
 		case errors.Is(err, session.ErrRateLimited):
 			// Over budget: the frame is discarded, the stream lives on.

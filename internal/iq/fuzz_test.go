@@ -113,6 +113,10 @@ func FuzzSlidingMoments(f *testing.F) {
 		renormEvery := int(renormSeed) % 64 // 0 disables renormalization
 		s := NewSlidingMoments(renormEvery)
 		window := make([]complex128, 0, capacity)
+		// peak2 tracks the largest per-sample squared magnitude the sums
+		// have absorbed since their last exact recompute; eviction residue
+		// scales with it, so the drift tolerances must too.
+		peak2 := 0.0
 		for _, z := range stream {
 			if len(window) == capacity {
 				s.Evict(window[0])
@@ -120,10 +124,86 @@ func FuzzSlidingMoments(f *testing.F) {
 			}
 			s.Push(z)
 			window = append(window, z)
+			if zz := real(z)*real(z) + imag(z)*imag(z); zz > peak2 {
+				peak2 = zz
+			}
 			if s.NeedsRenorm() {
 				s.Renormalize(window)
+				// The sums are exact again; only the current window's
+				// contents can seed future residue.
+				peak2 = 0
+				for _, w := range window {
+					if zz := real(w)*real(w) + imag(w)*imag(w); zz > peak2 {
+						peak2 = zz
+					}
+				}
 			}
-			requireMomentsMatch(t, &s, window)
+			requireMomentsMatchDrift(t, &s, window, peak2)
+			checkExclusion(t, &s, window, peak2)
 		}
 	})
+}
+
+// checkExclusion is FuzzSlidingMoments's exclusion case: subtract a
+// minority subset's sums from the accumulator the way
+// FitPrattExcluding does (every 4th sample, mirroring the ~15-25%
+// trim fraction of a tracker refit) and demand the difference
+// accumulator's recovered moments match the two-pass batch reference
+// over the kept samples. Tolerances are referenced to the FULL
+// window's moment scales, not the kept subset's: the difference of
+// raw sums carries cancellation residue proportional to the full
+// window's magnitude, which is exactly the guarantee FitPrattExcluding
+// documents.
+func checkExclusion(t *testing.T, s *SlidingMoments, window []complex128, residue2 float64) {
+	t.Helper()
+	if len(window) < 8 {
+		return
+	}
+	var sub SlidingMoments
+	kept := make([]complex128, 0, len(window))
+	for i, z := range window {
+		if i%4 == 0 {
+			sub.Push(z)
+		} else {
+			kept = append(kept, z)
+		}
+	}
+	d := SlidingMoments{
+		n:   s.n - sub.n,
+		sx:  s.sx - sub.sx,
+		sy:  s.sy - sub.sy,
+		sxx: s.sxx - sub.sxx,
+		sxy: s.sxy - sub.sxy,
+		syy: s.syy - sub.syy,
+		sxz: s.sxz - sub.sxz,
+		syz: s.syz - sub.syz,
+		szz: s.szz - sub.szz,
+	}
+	want, err := computeMoments(kept)
+	if err != nil {
+		t.Fatalf("batch moments over kept: %v", err)
+	}
+	got := d.moments()
+	s2, s3, s4 := momentScales(window)
+	if residue2 > s2 {
+		s2 = residue2
+		s3 = residue2 * math.Sqrt(residue2)
+		s4 = residue2 * residue2
+	}
+	const rel = 1e-9
+	check := func(name string, g, w, scale float64) {
+		t.Helper()
+		if math.Abs(g-w) > rel*(1+scale) {
+			t.Fatalf("exclusion %s = %g, batch reference %g (diff %g, tol %g, kept=%d of %d)",
+				name, g, w, math.Abs(g-w), rel*(1+scale), len(kept), len(window))
+		}
+	}
+	check("meanI", got.meanI, want.meanI, math.Sqrt(s2))
+	check("meanQ", got.meanQ, want.meanQ, math.Sqrt(s2))
+	check("mxx", got.mxx, want.mxx, s2)
+	check("myy", got.myy, want.myy, s2)
+	check("mxy", got.mxy, want.mxy, s2)
+	check("mxz", got.mxz, want.mxz, s3)
+	check("myz", got.myz, want.myz, s3)
+	check("mzz", got.mzz, want.mzz, s4)
 }

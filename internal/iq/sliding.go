@@ -197,6 +197,35 @@ func (s *SlidingMoments) FitPratt() (Circle, error) {
 	return c, nil
 }
 
+// FitPrattExcluding fits a circle by Pratt's method to the summed
+// window minus the samples accumulated in sub — the moment-space
+// complement of filtering the window and refitting. The trim pass of a
+// tracker refit rejects a small fraction of off-circle samples; with
+// their sums subtracted, the trimmed fit stays O(rejected) instead of
+// O(window), with no pass over the kept samples at all.
+//
+// Numerics: the difference of raw sums loses at most the rejected
+// fraction's worth of magnitude, so for trims that discard a minority
+// of the window the recovered moments carry the same ~1e-9 relative
+// agreement with the batch reference as the plain sliding fit
+// (enforced by FuzzSlidingMoments's exclusion case).
+//
+//blinkradar:hotpath
+func (s *SlidingMoments) FitPrattExcluding(sub *SlidingMoments) (Circle, error) {
+	d := SlidingMoments{
+		n:   s.n - sub.n,
+		sx:  s.sx - sub.sx,
+		sy:  s.sy - sub.sy,
+		sxx: s.sxx - sub.sxx,
+		sxy: s.sxy - sub.sxy,
+		syy: s.syy - sub.syy,
+		sxz: s.sxz - sub.sxz,
+		syz: s.syz - sub.syz,
+		szz: s.szz - sub.szz,
+	}
+	return d.FitPratt()
+}
+
 // FitTaubin is FitPratt with Taubin's normalisation, for
 // cross-validation in tests and ablations.
 func (s *SlidingMoments) FitTaubin() (Circle, error) {

@@ -362,8 +362,30 @@ func (m *Manager) Detach(id string) (SessionStats, error) {
 // queue drops the frame (accounted, and surfaced to the pipeline as a
 // gap); an empty token bucket rejects it with ErrRateLimited.
 //
+// The queue holds float32 planes, so this complex boundary narrows on
+// copy; SubmitPlanes skips the conversion entirely and is what the
+// wire-facing ingest path uses.
+//
 //blinkradar:hotpath
 func (m *Manager) Submit(id string, frame []complex128) error {
+	return m.submit(id, nil, nil, frame)
+}
+
+// SubmitPlanes is Submit for a frame already split into float32 I/Q
+// planes (the wire codec's native decode), copied into the session
+// queue with no complex materialisation; the caller may reuse both
+// slices immediately.
+//
+//blinkradar:hotpath
+func (m *Manager) SubmitPlanes(id string, pi, pq []float32) error {
+	return m.submit(id, pi, pq, nil)
+}
+
+// submit is the shared admission path: exactly one of (pi, pq) or
+// frame carries the payload.
+//
+//blinkradar:hotpath
+func (m *Manager) submit(id string, pi, pq []float32, frame []complex128) error {
 	if m.closed.Load() {
 		return ErrManagerClosed
 	}
@@ -378,7 +400,11 @@ func (m *Manager) Submit(id string, frame []complex128) error {
 	if s == nil {
 		return ErrSessionNotFound
 	}
-	if len(frame) != s.bins {
+	if frame != nil {
+		if len(frame) != s.bins {
+			return ErrGeometry
+		}
+	} else if len(pi) != s.bins || len(pq) != s.bins {
 		return ErrGeometry
 	}
 	limit, burst := m.cfg.RateLimit, m.cfg.RateBurst
@@ -396,7 +422,12 @@ func (m *Manager) Submit(id string, frame []complex128) error {
 		m.mLimited.Inc()
 		return ErrRateLimited
 	}
-	accepted := s.push(frame)
+	var accepted bool
+	if frame != nil {
+		accepted = s.pushComplex(frame)
+	} else {
+		accepted = s.push(pi, pq)
+	}
 	from, to, changed := s.noteSubmit(accepted, m.cfg.DropWindowFrames, m.cfg.WidenAtDropFrac, m.cfg.DegradeAtDropFrac)
 	s.qmu.Unlock()
 	s.submitted.Add(1)
@@ -623,14 +654,14 @@ func (sh *shard) drainSession(s *Session) int {
 	cfg := &sh.mgr.cfg
 	fed := 0
 	for fed < cfg.DrainBatchFrames {
-		frame, gap, ok := s.peek()
+		pi, pq, gap, ok := s.peek()
 		if !ok {
 			break
 		}
 		if gap > 0 {
 			s.mon.NoteGap(gap)
 		}
-		ev, okEv, a, err := s.mon.Feed(frame)
+		ev, okEv, a, err := s.mon.FeedPlanes(pi, pq)
 		s.commitPop()
 		s.processed.Add(1)
 		sh.mgr.frDone.Add(1)

@@ -63,13 +63,16 @@ type Session struct {
 	// touch it. Health() is the one documented cross-goroutine-safe call.
 	mon *blinkradar.Monitor //blinkradar:confined feed
 
-	// Frame queue: a flat ring of slots×bins samples. Slot i carries
+	// Frame queue: a flat ring of slots×bins samples held as float32
+	// I/Q planes — the wire's own representation, so queueing a decoded
+	// frame is two plain copies with no complex widening. Slot i carries
 	// gaps[i], the frames known lost immediately before it (upstream
 	// sequence gaps plus local backpressure drops), delivered to the
 	// pipeline as NoteGap before the frame is fed so slow-time state is
 	// never silently concatenated across a hole.
 	qmu        sync.Mutex
-	buf        []complex128
+	bufI       []float32
+	bufQ       []float32
 	gaps       []uint64
 	head, n    int
 	slots      int
@@ -119,7 +122,8 @@ type Session struct {
 func newSession(bins, slots int, mon *blinkradar.Monitor, windowSec float64) *Session {
 	s := &Session{
 		mon:   mon,
-		buf:   make([]complex128, bins*slots),
+		bufI:  make([]float32, bins*slots),
+		bufQ:  make([]float32, bins*slots),
 		gaps:  make([]uint64, slots),
 		slots: slots,
 		bins:  bins,
@@ -129,44 +133,77 @@ func newSession(bins, slots int, mon *blinkradar.Monitor, windowSec float64) *Se
 	return s
 }
 
-// push enqueues one frame, or — when the queue is full — drops it and
-// folds it into the gap preceding whatever frame is accepted next.
-// Caller holds qmu.
+// push enqueues one frame of I/Q planes, or — when the queue is full —
+// drops it and folds it into the gap preceding whatever frame is
+// accepted next. Caller holds qmu.
 //
 //blinkradar:hotpath
-func (s *Session) push(frame []complex128) bool {
+func (s *Session) push(pi, pq []float32) bool {
+	slot, ok := s.claimSlot()
+	if !ok {
+		return false
+	}
+	copy(s.bufI[slot*s.bins:(slot+1)*s.bins], pi)
+	copy(s.bufQ[slot*s.bins:(slot+1)*s.bins], pq)
+	return true
+}
+
+// pushComplex is push for the compatibility Submit boundary: the frame
+// is narrowed into the plane ring bin by bin. Caller holds qmu.
+//
+//blinkradar:convert -- sanctioned float64→float32 narrowing at the legacy complex Submit boundary
+//blinkradar:hotpath
+func (s *Session) pushComplex(frame []complex128) bool {
+	slot, ok := s.claimSlot()
+	if !ok {
+		return false
+	}
+	off := slot * s.bins
+	for i, z := range frame {
+		s.bufI[off+i] = float32(real(z))
+		s.bufQ[off+i] = float32(imag(z))
+	}
+	return true
+}
+
+// claimSlot reserves the next free queue slot and stamps its preceding
+// gap, or accrues a pending gap when the queue is full. Caller holds
+// qmu.
+//
+//blinkradar:hotpath
+func (s *Session) claimSlot() (int, bool) {
 	if s.n == s.slots {
 		s.pendingGap++
-		return false
+		return 0, false
 	}
 	slot := s.head + s.n
 	if slot >= s.slots {
 		slot -= s.slots
 	}
-	copy(s.buf[slot*s.bins:(slot+1)*s.bins], frame)
 	s.gaps[slot] = s.pendingGap
 	s.pendingGap = 0
 	s.n++
-	return true
+	return slot, true
 }
 
-// peek returns the oldest queued frame without dequeueing it. The slot
-// stays occupied until commitPop, so a concurrent push can never write
-// over a frame the worker is feeding: push only touches slot head+n
-// with n < slots, which is never head while n ≥ 1.
+// peek returns the oldest queued frame's planes without dequeueing it.
+// The slot stays occupied until commitPop, so a concurrent push can
+// never write over a frame the worker is feeding: push only touches
+// slot head+n with n < slots, which is never head while n ≥ 1.
 //
 //blinkradar:hotpath
-func (s *Session) peek() (frame []complex128, gap uint64, ok bool) {
+func (s *Session) peek() (pi, pq []float32, gap uint64, ok bool) {
 	s.qmu.Lock()
 	if s.n == 0 {
 		s.qmu.Unlock()
-		return nil, 0, false
+		return nil, nil, 0, false
 	}
 	slot := s.head
-	frame = s.buf[slot*s.bins : (slot+1)*s.bins]
+	pi = s.bufI[slot*s.bins : (slot+1)*s.bins]
+	pq = s.bufQ[slot*s.bins : (slot+1)*s.bins]
 	gap = s.gaps[slot]
 	s.qmu.Unlock()
-	return frame, gap, true
+	return pi, pq, gap, true
 }
 
 // commitPop frees the slot returned by the last peek.

@@ -190,6 +190,10 @@ type Decoder struct {
 	expectBins  uint32
 	resyncs     uint64
 	skippedByte uint64
+
+	// DecodePlanes scratch, grown once to the stream geometry.
+	planeI []float32
+	planeQ []float32
 }
 
 // NewDecoder wraps r.
@@ -273,6 +277,50 @@ func (d *Decoder) decodeOnce() (Frame, error) {
 	return f, err
 }
 
+// PlaneFrame is one radar frame decoded into struct-of-arrays float32
+// I/Q planes — the exact representation the wire carries and the
+// detection pipeline consumes, so a planes decode is bit-identical to
+// DecodeFrame followed by narrowing, with no complex128 widening round
+// trip in between.
+type PlaneFrame struct {
+	// Seq is the monotonically increasing frame sequence number.
+	Seq uint64
+	// TimestampMicros is the capture time in microseconds since the
+	// stream epoch.
+	TimestampMicros uint64
+	// I and Q are the in-phase and quadrature planes, one value per
+	// range bin.
+	I []float32
+	Q []float32
+}
+
+// DecodePlanes reads one frame into decoder-owned I/Q planes, valid
+// until the next DecodePlanes call. Error and resync semantics match
+// Decode exactly.
+func (d *Decoder) DecodePlanes() (PlaneFrame, error) {
+	f, err := d.decodePlanesOnce()
+	for err != nil && d.resync && errors.Is(err, ErrCorruptFrame) {
+		d.resyncs++
+		if serr := d.seekMagic(); serr != nil {
+			return PlaneFrame{}, serr
+		}
+		f, err = d.decodePlanesOnce()
+	}
+	return f, err
+}
+
+// decodePlanesOnce reads one plane frame at the current stream
+// position.
+//
+//blinkradar:hotpath
+func (d *Decoder) decodePlanesOnce() (PlaneFrame, error) {
+	f, _, err := readFramePlanes(d.r, d.header, &d.buf, d.planeI, d.planeQ, d.expectBins)
+	if err == nil {
+		d.planeI, d.planeQ = f.I, f.Q
+	}
+	return f, err
+}
+
 // frameWireSize is the encoded size of a frame with n bins.
 func frameWireSize(n int) int { return headerSize + n*8 + 4 }
 
@@ -288,36 +336,11 @@ func frameWireSize(n int) int { return headerSize + n*8 + 4 }
 //
 //blinkradar:hotpath
 func readFrame(r io.Reader, header []byte, payload *[]byte, bins []complex128, expectBins uint32) (Frame, int, error) {
-	if _, err := io.ReadFull(r, header); err != nil {
-		if err == io.EOF {
-			return Frame{}, 0, io.EOF
-		}
-		return Frame{}, 0, errReadHeader(err)
+	body, n, err := readFrameWire(r, header, payload, expectBins)
+	if err != nil {
+		return Frame{}, 0, err
 	}
-	if m := binary.BigEndian.Uint16(header[0:]); m != Magic {
-		return Frame{}, 0, errBadMagic(m)
-	}
-	if v := header[2]; v != Version {
-		return Frame{}, 0, errBadVersion(v)
-	}
-	n := binary.BigEndian.Uint32(header[20:])
-	if n == 0 || n > MaxBins || (expectBins != 0 && n != expectBins) {
-		return Frame{}, 0, errBadBinCount(n)
-	}
-	size := int(n)*8 + 4
-	if cap(*payload) < size {
-		*payload = make([]byte, size) //blinkvet:ignore hotpathalloc -- scratch growth is amortised: the payload buffer is reused across frames
-	}
-	body := (*payload)[:size]
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, 0, errReadPayload(err)
-	}
-	crc := crc32.ChecksumIEEE(header)
-	crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-4])
-	if got := binary.BigEndian.Uint32(body[len(body)-4:]); got != crc {
-		return Frame{}, 0, errBadCRC(got, crc)
-	}
-	if cap(bins) < int(n) {
+	if cap(bins) < n {
 		bins = make([]complex128, n) //blinkvet:ignore hotpathalloc -- grow-once: callers pass a geometry-sized buffer (or nil to opt into allocation)
 	}
 	f := Frame{
@@ -332,7 +355,75 @@ func readFrame(r io.Reader, header []byte, payload *[]byte, bins []complex128, e
 		f.Bins[i] = complex(float64(re), float64(im))
 		off += 8
 	}
-	return f, frameWireSize(int(n)), nil
+	return f, frameWireSize(n), nil
+}
+
+// readFramePlanes is readFrame decoding into struct-of-arrays float32
+// planes, the wire's own sample representation: each bin's I and Q
+// values land bit-for-bit, with no float64 round trip. pi and pq are
+// reused when their capacity suffices (pass nil to allocate).
+//
+//blinkradar:hotpath
+func readFramePlanes(r io.Reader, header []byte, payload *[]byte, pi, pq []float32, expectBins uint32) (PlaneFrame, int, error) {
+	body, n, err := readFrameWire(r, header, payload, expectBins)
+	if err != nil {
+		return PlaneFrame{}, 0, err
+	}
+	if cap(pi) < n || cap(pq) < n {
+		pi = make([]float32, n) //blinkvet:ignore hotpathalloc -- grow-once: callers pass geometry-sized planes (or nil to opt into allocation)
+		pq = make([]float32, n) //blinkvet:ignore hotpathalloc -- grow-once: callers pass geometry-sized planes (or nil to opt into allocation)
+	}
+	f := PlaneFrame{
+		Seq:             binary.BigEndian.Uint64(header[4:]),
+		TimestampMicros: binary.BigEndian.Uint64(header[12:]),
+		I:               pi[:n],
+		Q:               pq[:n],
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		f.I[i] = math.Float32frombits(binary.BigEndian.Uint32(body[off:]))
+		f.Q[i] = math.Float32frombits(binary.BigEndian.Uint32(body[off+4:]))
+		off += 8
+	}
+	return f, frameWireSize(n), nil
+}
+
+// readFrameWire reads and validates one frame's header, payload and
+// CRC, returning the payload body (sample area plus trailing CRC) and
+// the bin count. Shared by the complex and planes decoders.
+//
+//blinkradar:hotpath
+func readFrameWire(r io.Reader, header []byte, payload *[]byte, expectBins uint32) ([]byte, int, error) {
+	if _, err := io.ReadFull(r, header); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, errReadHeader(err)
+	}
+	if m := binary.BigEndian.Uint16(header[0:]); m != Magic {
+		return nil, 0, errBadMagic(m)
+	}
+	if v := header[2]; v != Version {
+		return nil, 0, errBadVersion(v)
+	}
+	n := binary.BigEndian.Uint32(header[20:])
+	if n == 0 || n > MaxBins || (expectBins != 0 && n != expectBins) {
+		return nil, 0, errBadBinCount(n)
+	}
+	size := int(n)*8 + 4
+	if cap(*payload) < size {
+		*payload = make([]byte, size) //blinkvet:ignore hotpathalloc -- scratch growth is amortised: the payload buffer is reused across frames
+	}
+	body := (*payload)[:size]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 0, errReadPayload(err)
+	}
+	crc := crc32.ChecksumIEEE(header)
+	crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-4])
+	if got := binary.BigEndian.Uint32(body[len(body)-4:]); got != crc {
+		return nil, 0, errBadCRC(got, crc)
+	}
+	return body, int(n), nil
 }
 
 // Cold error constructors, hoisted off the decode hot path.

@@ -164,6 +164,21 @@ func (m *Monitor) Calibrated() bool { return m.model.Trained() }
 // error rather than swallowed.
 func (m *Monitor) Feed(frame []complex128) (ev BlinkEvent, ok bool, assessment *Assessment, err error) {
 	ev, ok, err = m.det.Feed(frame)
+	return m.afterFeed(ev, ok, err)
+}
+
+// FeedPlanes is Feed for a frame already split into float32 I/Q planes
+// (pi and q planes of equal length) — the native layout of both the
+// wire codec and the detection pipeline — so service-layer callers
+// never materialise a []complex128 frame on the hot path.
+func (m *Monitor) FeedPlanes(pi, pq []float32) (ev BlinkEvent, ok bool, assessment *Assessment, err error) {
+	ev, ok, err = m.det.FeedPlanes(pi, pq)
+	return m.afterFeed(ev, ok, err)
+}
+
+// afterFeed is the shared post-detector half of Feed and FeedPlanes:
+// vital-sign sampling from the tracked bin, then window accounting.
+func (m *Monitor) afterFeed(ev BlinkEvent, ok bool, err error) (BlinkEvent, bool, *Assessment, error) {
 	if err != nil {
 		return BlinkEvent{}, false, nil, err
 	}
